@@ -1,0 +1,88 @@
+"""Ablation: ANN search budget (k-d tree max_checks) vs recall and speed.
+
+The IMM pipeline matches descriptors by *approximate* nearest neighbor.
+This bench sweeps the best-bin-first budget: small budgets are fast but can
+miss true neighbors; unlimited budgets are exact.  The design point used by
+the library (64 checks) should retain high image-identification accuracy.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.imm import ImageDatabase, KDTree, SceneGenerator
+
+BUDGETS = (8, 32, 64, 256, None)
+
+
+@pytest.fixture(scope="module")
+def descriptor_data():
+    rng = np.random.default_rng(5)
+    database = rng.normal(size=(800, 16))
+    queries = rng.normal(size=(100, 16))
+    truth = [
+        int(np.argmin(np.linalg.norm(database - q, axis=1))) for q in queries
+    ]
+    return database, queries, truth
+
+
+def test_ablation_report(descriptor_data, save_report):
+    database, queries, truth = descriptor_data
+    tree = KDTree(database)
+    rows = []
+    for budget in BUDGETS:
+        start = time.perf_counter()
+        hits = 0
+        for query, expected in zip(queries, truth):
+            _, indices = tree.query(query, k=1, max_checks=budget)
+            hits += int(indices[0] == expected)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [str(budget), f"{hits / len(queries):.2f}",
+             f"{elapsed * 1000:.1f}"]
+        )
+    report = format_table(
+        "ANN budget sweep: recall@1 and query time (100 queries, 800 points)",
+        ["max_checks", "recall@1", "total ms"], rows,
+    )
+    save_report("ablation_ann_budget", report)
+
+
+def test_recall_improves_with_budget(descriptor_data):
+    database, queries, truth = descriptor_data
+    tree = KDTree(database)
+
+    def recall(budget):
+        hits = 0
+        for query, expected in zip(queries, truth):
+            _, indices = tree.query(query, k=1, max_checks=budget)
+            hits += int(indices[0] == expected)
+        return hits / len(queries)
+
+    assert recall(8) <= recall(256) <= recall(None) == 1.0
+
+
+def test_image_matching_accuracy_at_library_budget():
+    generator = SceneGenerator(seed=44)
+    database = ImageDatabase.with_scenes(6, generator=generator, max_checks=64)
+    correct = sum(
+        database.match(generator.query_for(i)).image_name == f"scene-{i}"
+        for i in range(6)
+    )
+    assert correct == 6
+
+
+def test_bench_ann_query(benchmark, descriptor_data):
+    database, queries, _ = descriptor_data
+    tree = KDTree(database)
+    result = benchmark(tree.query, queries[0], 2, 64)
+    assert len(result[1]) == 2
+
+
+def test_bench_exact_query(benchmark, descriptor_data):
+    database, queries, _ = descriptor_data
+    tree = KDTree(database)
+    result = benchmark(tree.query, queries[0], 2, None)
+    assert len(result[1]) == 2

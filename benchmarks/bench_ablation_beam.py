@@ -1,0 +1,102 @@
+"""Ablation: ASR decoding knobs — beam width and LM weight vs WER/latency.
+
+Wide beams are slower but safer; the LM weight balances acoustic evidence
+against the language prior.  The library defaults (beam=200, lm_weight=10)
+should sit on the accurate side of both sweeps.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.asr import (
+    BigramLanguageModel,
+    Decoder,
+    Synthesizer,
+    collect_training_data,
+    train_gmm_acoustic_model,
+)
+from repro.asr.evaluate import evaluate_wer
+
+SENTENCES = [
+    "set my alarm for eight am",
+    "what is the capital of italy",
+    "who was elected president",
+    "play some music now",
+    "navigate to the airport",
+]
+
+
+@pytest.fixture(scope="module")
+def acoustic_setup():
+    data = collect_training_data(SENTENCES, repetitions=4)
+    model = train_gmm_acoustic_model(data)
+    lm = BigramLanguageModel(SENTENCES)
+    return model, lm
+
+
+def test_beam_sweep_report(acoustic_setup, save_report):
+    model, lm = acoustic_setup
+    synthesizer = Synthesizer(seed=321)
+    rows = []
+    for beam in (20.0, 50.0, 100.0, 200.0, None):
+        decoder = Decoder(model, lm, beam=beam)
+        start = time.perf_counter()
+        result = evaluate_wer(decoder, SENTENCES, synthesizer)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [str(beam), f"{result.wer:.3f}",
+             f"{result.sentence_accuracy:.2f}", f"{elapsed * 1000:.0f}"]
+        )
+    report = format_table(
+        "ASR beam-width sweep (5 sentences)",
+        ["beam", "WER", "sentence acc", "total ms"], rows,
+    )
+    save_report("ablation_asr_beam", report)
+
+
+def test_wide_beam_at_least_as_accurate(acoustic_setup):
+    model, lm = acoustic_setup
+    synthesizer = Synthesizer(seed=321)
+    narrow = evaluate_wer(Decoder(model, lm, beam=20.0), SENTENCES, synthesizer)
+    wide = evaluate_wer(Decoder(model, lm, beam=None), SENTENCES, synthesizer)
+    assert wide.wer <= narrow.wer
+
+
+def test_lm_weight_sweep_report(acoustic_setup, save_report):
+    model, lm = acoustic_setup
+    synthesizer = Synthesizer(seed=654)
+    rows = []
+    for weight in (0.0, 2.0, 6.0, 10.0, 20.0, 50.0):
+        decoder = Decoder(model, lm, lm_weight=weight)
+        result = evaluate_wer(decoder, SENTENCES, synthesizer)
+        rows.append([f"{weight:g}", f"{result.wer:.3f}", f"{result.sentence_accuracy:.2f}"])
+    report = format_table(
+        "ASR LM-weight sweep", ["lm_weight", "WER", "sentence acc"], rows,
+    )
+    save_report("ablation_asr_lm_weight", report)
+
+
+def test_default_lm_weight_beats_zero(acoustic_setup):
+    model, lm = acoustic_setup
+    synthesizer = Synthesizer(seed=654)
+    without_lm = evaluate_wer(Decoder(model, lm, lm_weight=0.0), SENTENCES, synthesizer)
+    default = evaluate_wer(Decoder(model, lm), SENTENCES, synthesizer)
+    assert default.wer <= without_lm.wer
+
+
+def test_bench_decode_default(benchmark, acoustic_setup):
+    model, lm = acoustic_setup
+    decoder = Decoder(model, lm)
+    wave = Synthesizer(seed=9).synthesize(SENTENCES[0])
+    result = benchmark(decoder.decode_waveform, wave)
+    assert result.text == SENTENCES[0]
+
+
+def test_bench_decode_no_beam(benchmark, acoustic_setup):
+    model, lm = acoustic_setup
+    decoder = Decoder(model, lm, beam=None)
+    wave = Synthesizer(seed=9).synthesize(SENTENCES[0])
+    result = benchmark(decoder.decode_waveform, wave)
+    assert result.text == SENTENCES[0]

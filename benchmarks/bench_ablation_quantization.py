@@ -1,0 +1,69 @@
+"""Ablation: int8 weight quantization of the acoustic DNN.
+
+The DNN-accelerator literature the paper cites (DianNao et al.) relies on
+low-precision arithmetic; this bench measures what int8 weights cost in
+frame-classification agreement and what they save in model size.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.asr import collect_training_data, train_dnn_acoustic_model
+from repro.asr.quantize import agreement, quantize
+
+SENTENCES = ["set my alarm for eight am", "what is the capital of italy",
+             "play some music now"]
+
+
+@pytest.fixture(scope="module")
+def trained():
+    data = collect_training_data(SENTENCES, repetitions=4)
+    model = train_dnn_acoustic_model(data, epochs=10)
+    return model.network, data
+
+
+def test_quantization_report(trained, save_report):
+    network, data = trained
+    quantized = quantize(network)
+    float_bytes = sum(w.nbytes for w in network.weights)
+    agree = agreement(network, quantized, data.features)
+    float_acc = (network.predict(data.features) == data.labels).mean()
+    int8_acc = (quantized.predict(data.features) == data.labels).mean()
+    rows = [
+        ["weights size", f"{float_bytes / 1024:.0f} KiB", f"{quantized.model_bytes / 1024:.0f} KiB"],
+        ["frame accuracy", f"{float_acc:.3f}", f"{int8_acc:.3f}"],
+        ["prediction agreement", "1.000", f"{agree:.3f}"],
+    ]
+    report = format_table(
+        "Int8 quantization of the acoustic DNN",
+        ["Metric", "float64", "int8"], rows,
+    )
+    save_report("ablation_quantization", report)
+
+
+def test_agreement_above_90_percent(trained):
+    network, data = trained
+    assert agreement(network, quantize(network), data.features) > 0.9
+
+
+def test_accuracy_loss_small(trained):
+    network, data = trained
+    quantized = quantize(network)
+    float_acc = (network.predict(data.features) == data.labels).mean()
+    int8_acc = (quantized.predict(data.features) == data.labels).mean()
+    assert int8_acc > float_acc - 0.05
+
+
+def test_bench_float_forward(benchmark, trained):
+    network, data = trained
+    stacked = network.stack_context(data.features[:64])
+    out = benchmark(network.forward, stacked)
+    assert out.shape[0] == 64
+
+
+def test_bench_int8_forward(benchmark, trained):
+    network, data = trained
+    quantized = quantize(network)
+    stacked = quantized.stack_context(data.features[:64])
+    out = benchmark(quantized.forward, stacked)
+    assert out.shape[0] == 64

@@ -1,0 +1,82 @@
+"""Ablation: NFA simulation vs lazy-DFA regex execution.
+
+Both engines are exact (differentially tested); the DFA amortizes state-set
+construction across calls.  This bench measures the crossover on the QA
+filter workload (the Table 4 regex input set).
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.regex import DfaPattern, Pattern, build_pattern_strings, build_sentences
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_pattern_strings(50), build_sentences(100)
+
+
+def test_engine_comparison_report(workload, save_report):
+    pattern_strings, sentences = workload
+    nfa_patterns = [Pattern(p) for p in pattern_strings]
+    dfa_patterns = [DfaPattern(p) for p in pattern_strings]
+
+    start = time.perf_counter()
+    nfa_hits = sum(p.test(s) for p in nfa_patterns for s in sentences)
+    nfa_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    dfa_cold = sum(p.test(s) for p in dfa_patterns for s in sentences)
+    dfa_cold_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    dfa_warm = sum(p.test(s) for p in dfa_patterns for s in sentences)
+    dfa_warm_time = time.perf_counter() - start
+
+    assert nfa_hits == dfa_cold == dfa_warm
+    rows = [
+        ["NFA simulation", f"{nfa_time * 1000:.0f}", "1.0x"],
+        ["lazy DFA (cold)", f"{dfa_cold_time * 1000:.0f}", f"{nfa_time / dfa_cold_time:.1f}x"],
+        ["lazy DFA (warm)", f"{dfa_warm_time * 1000:.0f}", f"{nfa_time / dfa_warm_time:.1f}x"],
+    ]
+    report = format_table(
+        "Regex engine ablation (50 patterns x 100 sentences)",
+        ["Engine", "total ms", "speedup"], rows,
+    )
+    save_report("ablation_regex_engine", report)
+
+
+def test_dfa_faster_warm(workload):
+    pattern_strings, sentences = workload
+    nfa = [Pattern(p) for p in pattern_strings[:20]]
+    dfa = [DfaPattern(p) for p in pattern_strings[:20]]
+    for engine in dfa:  # warm the transition caches
+        for sentence in sentences[:30]:
+            engine.test(sentence)
+    start = time.perf_counter()
+    for engine in nfa:
+        for sentence in sentences[:30]:
+            engine.test(sentence)
+    nfa_time = time.perf_counter() - start
+    start = time.perf_counter()
+    for engine in dfa:
+        for sentence in sentences[:30]:
+            engine.test(sentence)
+    dfa_time = time.perf_counter() - start
+    assert dfa_time < nfa_time
+
+
+def test_bench_nfa(benchmark, workload):
+    pattern_strings, sentences = workload
+    pattern = Pattern(pattern_strings[2])
+    count = benchmark(lambda: sum(pattern.test(s) for s in sentences))
+    assert count >= 0
+
+
+def test_bench_dfa(benchmark, workload):
+    pattern_strings, sentences = workload
+    pattern = DfaPattern(pattern_strings[2])
+    count = benchmark(lambda: sum(pattern.test(s) for s in sentences))
+    assert count >= 0

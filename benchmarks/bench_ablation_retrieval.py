@@ -1,0 +1,97 @@
+"""Ablation: BM25 vs TF-IDF retrieval for the QA document stage.
+
+Measures gold-document rank (the article embedding the answer) over the
+Table-2-style question set under both rankers, plus end-to-end QA accuracy.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import VOICE_QUERIES
+from repro.qa import QAEngine
+from repro.qa.evaluate import evaluate_qa
+from repro.qa.question import analyze, search_query
+from repro.websearch import Corpus, SearchEngine
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    # Hard negatives: distractor articles mention each subject (and its
+    # relation) without carrying the answer.
+    return Corpus(distractors_per_fact=3)
+
+
+@pytest.fixture(scope="module")
+def engines(corpus):
+    return {
+        "bm25": SearchEngine(corpus),
+        "tfidf": SearchEngine(corpus, ranker="tfidf"),
+    }
+
+
+def _gold_rank(engine, corpus, question):
+    """Rank of the first document embedding the gold answer (None if absent)."""
+    query = search_query(analyze(question))
+    for rank, result in enumerate(engine.search(query, k=10), start=1):
+        if corpus.answer_for_doc(result.document.doc_id) is not None:
+            fact = corpus.fact_for_question(question)
+            if fact and corpus.answer_for_doc(result.document.doc_id) == fact.answer:
+                return rank
+    return None
+
+
+def test_retrieval_ablation_report(engines, corpus, save_report):
+    questions = [q for q, _ in VOICE_QUERIES]
+    rows = []
+    summary = {}
+    for name, engine in engines.items():
+        ranks = [_gold_rank(engine, corpus, q) for q in questions]
+        found = [r for r in ranks if r is not None]
+        mrr = sum(1.0 / r for r in found) / len(questions)
+        at1 = sum(r == 1 for r in found) / len(questions)
+        summary[name] = (at1, mrr, len(found))
+        rows.append([name, f"{at1:.2f}", f"{mrr:.2f}", f"{len(found)}/{len(questions)}"])
+
+    qa_rows = []
+    for name in engines:
+        evaluation = evaluate_qa(QAEngine(engines[name]), list(VOICE_QUERIES))
+        qa_rows.append([name, f"{evaluation.accuracy:.2f}", f"{evaluation.mrr:.2f}"])
+
+    report = "\n\n".join(
+        [
+            format_table(
+                "Gold-document retrieval over the 16 voice queries",
+                ["Ranker", "gold@1", "MRR", "found@10"], rows,
+            ),
+            format_table(
+                "End-to-end QA quality per ranker",
+                ["Ranker", "answer accuracy", "answer MRR"], qa_rows,
+            ),
+        ]
+    )
+    save_report("ablation_retrieval", report)
+
+
+def test_both_rankers_retrieve_gold_docs(engines, corpus):
+    questions = [q for q, _ in VOICE_QUERIES]
+    for name, engine in engines.items():
+        found = sum(
+            1 for q in questions if _gold_rank(engine, corpus, q) is not None
+        )
+        assert found >= len(questions) - 2, name
+
+
+def test_qa_works_with_either_ranker(engines):
+    for engine in engines.values():
+        qa = QAEngine(engine)
+        assert qa.answer_text("what is the capital of italy").lower() == "rome"
+
+
+def test_bench_bm25_search(benchmark, engines):
+    results = benchmark(engines["bm25"].search, "capital of italy")
+    assert results
+
+
+def test_bench_tfidf_search(benchmark, engines):
+    results = benchmark(engines["tfidf"].search, "capital of italy")
+    assert results

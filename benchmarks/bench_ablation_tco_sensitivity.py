@@ -1,0 +1,55 @@
+"""Ablation: TCO-model parameter sensitivity.
+
+How robust is "GPU/FPGA reduce TCO" to Table 7's assumptions?  Sweeps the
+electricity price, server utilization, and server depreciation, reporting
+the TCO winner for the default workload mix at each point.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.datacenter import CapacityPlanner, TCOModel, TCOParameters, WorkloadMix
+from repro.platforms import CMP, FPGA, GPU
+
+
+def _winner(parameters: TCOParameters) -> str:
+    planner = CapacityPlanner(tco_model=TCOModel(parameters))
+    return planner.cheapest_platform(WorkloadMix(), 100.0).platform
+
+
+def test_sensitivity_report(save_report):
+    rows = []
+    for price in (0.01, 0.067, 0.2, 0.5):
+        rows.append(["electricity $/kWh", f"{price}", _winner(TCOParameters(electricity_cost_per_kwh=price))])
+    for utilization in (0.15, 0.45, 0.9):
+        rows.append(["utilization", f"{utilization}", _winner(TCOParameters(average_utilization=utilization))])
+    for years in (1.0, 3.0, 6.0):
+        rows.append(["server life (yr)", f"{years}", _winner(TCOParameters(server_depreciation_years=years))])
+    for pue in (1.1, 1.5, 2.0):
+        rows.append(["PUE", f"{pue}", _winner(TCOParameters(pue=pue))])
+    report = format_table(
+        "TCO sensitivity: cheapest platform for the default mix",
+        ["Parameter", "Value", "Winner"], rows,
+    )
+    save_report("ablation_tco_sensitivity", report)
+
+
+def test_accelerator_wins_across_sweep():
+    # The headline conclusion (accelerate!) must not hinge on one parameter.
+    for price in (0.01, 0.5):
+        assert _winner(TCOParameters(electricity_cost_per_kwh=price)) in (GPU, FPGA)
+    for utilization in (0.15, 0.9):
+        assert _winner(TCOParameters(average_utilization=utilization)) in (GPU, FPGA)
+
+
+def test_energy_price_shifts_share_not_winner():
+    cheap = TCOModel(TCOParameters(electricity_cost_per_kwh=0.01))
+    pricey = TCOModel(TCOParameters(electricity_cost_per_kwh=0.5))
+    cheap_energy_share = cheap.platform_breakdown(GPU).energy / cheap.monthly_tco(GPU)
+    pricey_energy_share = pricey.platform_breakdown(GPU).energy / pricey.monthly_tco(GPU)
+    assert pricey_energy_share > cheap_energy_share
+
+
+def test_bench_winner_search(benchmark):
+    winner = benchmark(_winner, TCOParameters())
+    assert winner in (CMP, GPU, FPGA)

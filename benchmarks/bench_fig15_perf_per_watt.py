@@ -1,0 +1,43 @@
+"""Figure 15: performance per watt, normalized to the multicore baseline.
+
+Claims: FPGA exceeds every platform by a wide margin (>12x baseline for all
+services); GPU beats the baseline for 3 of 4 services but not QA.
+"""
+
+import pytest
+
+from repro.analysis import format_matrix
+from repro.platforms import AcceleratorModel, FPGA, GPU, PLATFORMS, SERVICES
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AcceleratorModel()
+
+
+def test_fig15_report(model, save_report):
+    report = format_matrix(
+        "Figure 15: performance/watt normalized to the 4-core CMP baseline",
+        "Service",
+        model.performance_per_watt_table(),
+        columns=list(PLATFORMS),
+    )
+    save_report("fig15_perf_per_watt", report)
+
+
+def test_fpga_exceeds_12x_everywhere(model):
+    table = model.performance_per_watt_table()
+    for service in SERVICES:
+        assert table[service][FPGA] > 12, service
+
+
+def test_gpu_above_baseline_except_qa(model):
+    table = model.performance_per_watt_table()
+    above = [s for s in SERVICES if table[s][GPU] > 1.0]
+    assert len(above) == 3
+    assert "QA" not in above
+
+
+def test_bench_perf_per_watt(benchmark, model):
+    table = benchmark(model.performance_per_watt_table)
+    assert table

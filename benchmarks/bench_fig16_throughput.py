@@ -1,0 +1,48 @@
+"""Figure 16: server throughput improvement at 100% load.
+
+Claims: GPU gives 13.7x for ASR (DNN); FPGA gives ~12.6x for IMM; QA's
+improvement is the most limited across platforms.
+"""
+
+import pytest
+
+from repro.analysis import format_matrix
+from repro.platforms import AcceleratorModel, FPGA, GPU, PLATFORMS, SERVICES
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AcceleratorModel()
+
+
+def test_fig16_report(model, save_report):
+    report = format_matrix(
+        "Figure 16: throughput improvement over the 4-core baseline (100% load)",
+        "Service",
+        model.throughput_table(),
+        columns=list(PLATFORMS),
+    )
+    save_report("fig16_throughput", report)
+
+
+def test_gpu_asr_dnn_13_7x(model):
+    assert model.throughput_improvement("ASR (DNN)", GPU) == pytest.approx(13.7, rel=0.06)
+
+
+def test_fpga_imm_about_12x(model):
+    value = model.throughput_improvement("IMM", FPGA)
+    assert 9 < value < 14  # paper: 12.6x
+
+
+def test_qa_improvement_most_limited(model):
+    # "For QA, the throughput improvement across the platforms is generally
+    # more limited than other services" — lowest mean across accelerators.
+    table = model.throughput_table()
+    means = {
+        s: sum(table[s][p] for p in ("gpu", "phi", "fpga")) / 3 for s in SERVICES
+    }
+    assert means["QA"] == min(means.values())
+
+
+def test_bench_throughput_table(benchmark, model):
+    assert benchmark(model.throughput_table)

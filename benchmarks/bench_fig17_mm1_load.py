@@ -1,0 +1,55 @@
+"""Figure 17: throughput improvement vs server load (M/M/1 model).
+
+Claim: Figure 16 is the lower bound (load -> 100%); at medium-to-low loads
+the same latency reduction buys far more throughput.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.datacenter import improvement_curve, throughput_improvement_at_load
+from repro.platforms import PLATFORMS, SERVICES, service_speedup
+
+LOADS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def test_fig17_report(save_report):
+    lines = []
+    for service in SERVICES:
+        rows = []
+        for platform in PLATFORMS:
+            speedup = service_speedup(service, platform)
+            curve = improvement_curve(speedup, LOADS)
+            rows.append([platform, *[f"{value:.1f}x" for value in curve]])
+        lines.append(
+            format_table(
+                f"Figure 17 — {service}: throughput improvement vs load",
+                ["Platform", *[f"load {load:.0%}" for load in LOADS]],
+                rows,
+            )
+        )
+    save_report("fig17_mm1_load", "\n\n".join(lines))
+
+
+def test_low_load_dominates_high_load(save_report):
+    speedup = service_speedup("ASR (DNN)", "gpu")
+    curve = improvement_curve(speedup, LOADS)
+    assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+
+def test_high_load_approaches_fig16():
+    speedup = service_speedup("IMM", "fpga")
+    at_99 = throughput_improvement_at_load(speedup, 0.99)
+    assert at_99 == pytest.approx(speedup / 4.0, rel=0.05)
+
+
+def test_bench_improvement_curves(benchmark):
+    def all_curves():
+        return [
+            improvement_curve(service_speedup(service, platform), LOADS)
+            for service in SERVICES
+            for platform in PLATFORMS
+        ]
+
+    curves = benchmark(all_curves)
+    assert len(curves) == 16

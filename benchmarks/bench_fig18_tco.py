@@ -1,0 +1,107 @@
+"""Table 7 & Figure 18: the TCO model and normalized datacenter TCO.
+
+Claims: GPU achieves >8x TCO reduction for ASR (DNN); FPGA achieves >4x for
+IMM; overall FPGA and GPU provide high TCO reduction while Phi lags.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.datacenter import TCOModel, TCOParameters
+from repro.platforms import AcceleratorModel, FPGA, GPU, PHI, PLATFORMS, SERVICES
+
+
+@pytest.fixture(scope="module")
+def tco():
+    return TCOModel()
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AcceleratorModel()
+
+
+def test_table7_report(tco, save_report):
+    p = tco.parameters
+    rows = [
+        ["DC depreciation time", f"{p.dc_depreciation_years:.0f} years"],
+        ["Server depreciation time", f"{p.server_depreciation_years:.0f} years"],
+        ["Average server utilization", f"{p.average_utilization:.0%}"],
+        ["Electricity cost", f"${p.electricity_cost_per_kwh}/kWh"],
+        ["Datacenter price", f"${p.dc_price_per_watt:.0f}/W"],
+        ["Datacenter opex", f"${p.dc_opex_per_watt_month}/W-month"],
+        ["Server opex", f"{p.server_opex_fraction_per_year:.0%} of capex/year"],
+        ["PUE", f"{p.pue}"],
+    ]
+    save_report(
+        "table7_tco_parameters",
+        format_table("Table 7: TCO model parameters", ["Parameter", "Value"], rows),
+    )
+    assert p == TCOParameters()
+
+
+def test_fig18_report(tco, model, save_report):
+    matrix_rows = []
+    for service in SERVICES:
+        row = [service]
+        for platform in PLATFORMS:
+            throughput = model.throughput_improvement(service, platform)
+            row.append(f"{tco.normalized_tco(platform, throughput):.3f}")
+        matrix_rows.append(row)
+    breakdown_rows = []
+    for platform in PLATFORMS:
+        b = tco.platform_breakdown(platform)
+        breakdown_rows.append(
+            [platform, f"{b.dc_capex:.1f}", f"{b.dc_opex:.1f}",
+             f"{b.server_capex:.1f}", f"{b.server_opex:.1f}",
+             f"{b.energy:.1f}", f"{b.total:.1f}"]
+        )
+    report = "\n\n".join(
+        [
+            format_table(
+                "Figure 18: datacenter TCO normalized to CMP (lower is better)",
+                ["Service", *PLATFORMS],
+                matrix_rows,
+            ),
+            format_table(
+                "Monthly per-server TCO breakdown ($)",
+                ["Platform", "DC capex", "DC opex", "Srv capex", "Srv opex",
+                 "Energy", "Total"],
+                breakdown_rows,
+            ),
+        ]
+    )
+    save_report("fig18_tco", report)
+
+
+def test_gpu_asr_dnn_over_8x(tco, model):
+    reduction = tco.tco_reduction(GPU, model.throughput_improvement("ASR (DNN)", GPU))
+    assert reduction > 8.0
+
+
+def test_fpga_imm_over_4x(tco, model):
+    reduction = tco.tco_reduction(FPGA, model.throughput_improvement("IMM", FPGA))
+    assert reduction > 4.0
+
+
+def test_phi_is_the_weakest_accelerator(tco, model):
+    for service in SERVICES:
+        phi = tco.normalized_tco(PHI, model.throughput_improvement(service, PHI))
+        gpu = tco.normalized_tco(GPU, model.throughput_improvement(service, GPU))
+        fpga = tco.normalized_tco(FPGA, model.throughput_improvement(service, FPGA))
+        assert phi > min(gpu, fpga), service
+
+
+def test_bench_tco_matrix(benchmark, tco, model):
+    def build():
+        return {
+            service: {
+                platform: tco.normalized_tco(
+                    platform, model.throughput_improvement(service, platform)
+                )
+                for platform in PLATFORMS
+            }
+            for service in SERVICES
+        }
+
+    assert benchmark(build)

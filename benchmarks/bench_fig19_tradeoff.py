@@ -1,0 +1,61 @@
+"""Figure 19: the latency-vs-TCO trade-off scatter across platforms/services.
+
+Claims: FPGA has the highest latency improvement for 3 of 4 services; GPU
+achieves similar-or-better TCO with smaller latency reduction; without the
+FPGA, the GPU is optimal on both axes for every service.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.datacenter import DatacenterDesigner
+from repro.platforms import CMP, FPGA, GPU, PHI, SERVICES
+
+
+def test_fig19_report(designer, save_report):
+    rows = [
+        [
+            point.service, point.platform,
+            f"{point.latency_improvement:.1f}x",
+            f"{point.tco_improvement:.2f}x",
+        ]
+        for point in designer.all_points()
+    ]
+    report = format_table(
+        "Figure 19: latency improvement vs TCO improvement (each point)",
+        ["Service", "Platform", "Latency gain", "TCO gain"],
+        rows,
+    )
+    save_report("fig19_tradeoff", report)
+    assert len(rows) == 16
+
+
+def test_fpga_latency_leader_three_services(designer):
+    for service in SERVICES:
+        gains = {
+            platform: designer.evaluate(service, platform).latency_improvement
+            for platform in (CMP, GPU, PHI, FPGA)
+        }
+        leader = max(gains, key=gains.get)
+        expected = GPU if service == "ASR (DNN)" else FPGA
+        assert leader == expected, service
+
+
+def test_gpu_optimal_without_fpga(designer):
+    # "When the FPGA is not considered an option, the GPU achieves the
+    # optimal latency and TCO for all services."
+    for service in SERVICES:
+        candidates = (CMP, GPU, PHI)
+        best_latency = min(
+            candidates, key=lambda p: designer.evaluate(service, p).latency
+        )
+        best_tco = min(
+            candidates, key=lambda p: designer.evaluate(service, p).normalized_tco
+        )
+        assert best_latency == GPU, service
+        assert best_tco == GPU, service
+
+
+def test_bench_all_points(benchmark, designer):
+    points = benchmark(designer.all_points)
+    assert len(points) == 16

@@ -1,0 +1,62 @@
+"""Figure 20: query-level latency, energy efficiency, and TCO for the two
+best homogeneous datacenters (GPU and FPGA).
+
+Headline claims: GPU-accelerated DCs average ~10x query latency reduction
+and ~2.6x TCO reduction; FPGA DCs ~16x latency and ~1.4x TCO; FPGA beats
+GPU on latency and energy for every query type.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.datacenter import QUERY_SERVICES
+from repro.platforms import FPGA, GPU
+
+
+def test_fig20_report(designer, save_report):
+    rows = []
+    for platform in (GPU, FPGA):
+        summary = designer.query_level_summary(platform)
+        for query_type, metrics in summary.items():
+            rows.append(
+                [
+                    platform, query_type,
+                    f"{metrics['latency_improvement']:.1f}x",
+                    f"{metrics['performance_per_watt']:.1f}x",
+                    f"{metrics['tco_improvement']:.2f}x",
+                ]
+            )
+        rows.append(
+            [platform, "average",
+             f"{designer.average_query_latency_improvement(platform):.1f}x", "", ""]
+        )
+    report = format_table(
+        "Figure 20: query-level latency/energy/TCO for GPU and FPGA DCs",
+        ["Platform", "Query type", "Latency gain", "Perf/Watt", "TCO gain"],
+        rows,
+    )
+    save_report("fig20_query_level", report)
+
+
+def test_gpu_average_about_10x(designer):
+    assert designer.average_query_latency_improvement(GPU) == pytest.approx(10.0, rel=0.25)
+
+
+def test_fpga_beats_gpu_on_latency_and_energy(designer):
+    gpu = designer.query_level_summary(GPU)
+    fpga = designer.query_level_summary(FPGA)
+    for query_type in QUERY_SERVICES:
+        assert fpga[query_type]["latency_improvement"] > gpu[query_type]["latency_improvement"] or query_type == "VC"
+        assert fpga[query_type]["performance_per_watt"] > gpu[query_type]["performance_per_watt"]
+
+
+def test_both_dcs_reduce_tco(designer):
+    for platform in (GPU, FPGA):
+        summary = designer.query_level_summary(platform)
+        average = sum(m["tco_improvement"] for m in summary.values()) / len(summary)
+        assert average > 1.3  # paper: 2.6x GPU, 1.4x FPGA
+
+
+def test_bench_query_level_summary(benchmark, designer):
+    summary = benchmark(designer.query_level_summary, GPU)
+    assert set(summary) == set(QUERY_SERVICES)

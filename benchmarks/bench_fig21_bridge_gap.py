@@ -1,0 +1,61 @@
+"""Figure 21: bridging the scalability gap.
+
+Claim: accelerated homogeneous datacenters shrink the 165x resource-scaling
+gap to ~16x (GPU) and ~10x (FPGA).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.datacenter import paper_gap
+from repro.platforms import CMP, FPGA, GPU, PHI
+
+
+def test_fig21_report(designer, save_report):
+    gap = paper_gap()
+    rows = [["none (today)", "1.0x", f"{gap.gap:.0f}x"]]
+    for platform in (CMP, PHI, GPU, FPGA):
+        improvement = designer.average_query_latency_improvement(platform)
+        rows.append(
+            [platform, f"{improvement:.1f}x", f"{gap.bridged_gap(improvement):.0f}x"]
+        )
+    report = format_table(
+        "Figure 21: bridging the scalability gap (165x baseline)",
+        ["Datacenter", "Avg query speedup", "Residual gap"],
+        rows,
+    )
+    save_report("fig21_bridge_gap", report)
+
+
+def test_gpu_residual_gap_about_16x(designer):
+    gap = paper_gap()
+    residual = gap.bridged_gap(designer.average_query_latency_improvement(GPU))
+    assert residual == pytest.approx(16.0, rel=0.3)
+
+
+def test_fpga_residual_gap_about_10x(designer):
+    gap = paper_gap()
+    residual = gap.bridged_gap(designer.average_query_latency_improvement(FPGA))
+    assert residual == pytest.approx(10.0, rel=0.4)
+
+
+def test_acceleration_orders_residual_gaps(designer):
+    gap = paper_gap()
+    residuals = {
+        platform: gap.bridged_gap(designer.average_query_latency_improvement(platform))
+        for platform in (CMP, PHI, GPU, FPGA)
+    }
+    assert residuals[FPGA] < residuals[GPU] < residuals[CMP]
+
+
+def test_bench_bridge_computation(benchmark, designer):
+    gap = paper_gap()
+
+    def bridge_all():
+        return [
+            gap.bridged_gap(designer.average_query_latency_improvement(p))
+            for p in (CMP, PHI, GPU, FPGA)
+        ]
+
+    residuals = benchmark(bridge_all)
+    assert len(residuals) == 4

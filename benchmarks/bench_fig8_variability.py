@@ -1,0 +1,87 @@
+"""Figure 8: latency variability and its cause.
+
+- 8a: per-service latency distributions over the input set;
+- 8b: QA hot-component breakdown per voice query;
+- 8c: correlation between QA latency and document-filter hits.
+"""
+
+import pytest
+
+from repro.analysis import (
+    format_table,
+    latency_hits_correlation,
+    run_variability_study,
+    service_distributions,
+)
+from repro.core import VOICE_QUERIES
+from repro.qa import QAEngine
+
+
+@pytest.fixture(scope="module")
+def qa_records():
+    engine = QAEngine()
+    return run_variability_study(engine, [q for q, _ in VOICE_QUERIES])
+
+
+def test_fig8a_service_distributions(responses, save_report):
+    distributions = service_distributions(responses)
+    rows = [
+        [service, f"{d.minimum * 1000:.1f}", f"{d.mean * 1000:.1f}",
+         f"{d.maximum * 1000:.1f}", f"{d.spread:.1f}x"]
+        for service, d in sorted(distributions.items())
+    ]
+    report = format_table(
+        "Figure 8a: Latency distribution per service (over the 42-query set)",
+        ["Service", "Min (ms)", "Mean (ms)", "Max (ms)", "Spread"],
+        rows,
+    )
+    save_report("fig8a_service_variability", report)
+    # Paper shape: QA has the widest spread; ASR and IMM are much flatter.
+    assert distributions["QA"].spread > distributions["ASR"].spread
+    assert distributions["QA"].spread > distributions["IMM"].spread
+
+
+def test_fig8b_qa_component_breakdown(qa_records, save_report):
+    components = ["qa.stemmer", "qa.regex", "qa.crf", "qa.analyze", "qa.aggregate"]
+    rows = []
+    for index, record in enumerate(qa_records):
+        total = max(record.latency, 1e-12)
+        rows.append(
+            [f"q{index + 1}", f"{record.latency * 1000:.1f}"]
+            + [f"{100 * record.component_seconds.get(c, 0.0) / total:.0f}%" for c in components]
+        )
+    report = format_table(
+        "Figure 8b: QA execution-time breakdown per voice query",
+        ["Query", "Latency (ms)", *components],
+        rows,
+    )
+    save_report("fig8b_qa_breakdown", report)
+    assert len(rows) == 16
+
+
+def test_fig8c_latency_vs_filter_hits(qa_records, save_report):
+    rows = [
+        [f"q{index + 1}", record.filter_hits, f"{record.latency * 1000:.1f}"]
+        for index, record in enumerate(qa_records)
+    ]
+    correlation = latency_hits_correlation(qa_records)
+    report = format_table(
+        f"Figure 8c: QA latency vs document-filter hits (Pearson r = {correlation:.2f})",
+        ["Query", "Filter hits", "Latency (ms)"],
+        rows,
+    )
+    save_report("fig8c_latency_vs_hits", report)
+    # Paper's causal claim: hits drive latency.
+    assert correlation > 0.5
+
+
+def test_bench_qa_low_hit_query(benchmark):
+    engine = QAEngine()
+    result = benchmark(engine.answer, "when was the first moon landing")
+    assert result.answered
+
+
+def test_bench_qa_high_hit_query(benchmark):
+    engine = QAEngine()
+    result = benchmark(engine.answer, "what is the capital of italy")
+    assert result.answered

@@ -1,0 +1,55 @@
+"""Index-compression study: delta+varint postings vs raw arrays.
+
+Memory residency is the paper's Web Search configuration; compression is
+how real engines keep large indexes resident.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.websearch import Corpus, InvertedIndex
+from repro.websearch.compression import compress_index, varint_decode, varint_encode
+
+
+@pytest.fixture(scope="module")
+def index():
+    idx = InvertedIndex()
+    idx.add_all(Corpus(documents_per_fact=4, n_noise_docs=80, distractors_per_fact=2))
+    return idx
+
+
+def test_compression_report(index, save_report):
+    compressed, small, raw = compress_index(index)
+    rows = [
+        ["terms", f"{index.n_terms}"],
+        ["postings entries", f"{sum(len(c) for c in compressed.values())}"],
+        ["raw bytes (8B id + 4B tf)", f"{raw:,}"],
+        ["compressed bytes", f"{small:,}"],
+        ["ratio", f"{raw / small:.1f}x"],
+    ]
+    save_report(
+        "index_compression",
+        format_table("Postings compression (delta + varint)", ["Metric", "Value"], rows),
+    )
+    assert raw / small > 3.0
+
+
+def test_all_terms_roundtrip(index):
+    compressed, _, _ = compress_index(index)
+    for term, entry in compressed.items():
+        ids, freqs = entry.decode()
+        originals = index.postings(term)
+        assert ids == [p.doc_id for p in originals]
+        assert freqs == [p.term_frequency for p in originals]
+
+
+def test_bench_compress(benchmark, index):
+    _, small, raw = benchmark(compress_index, index)
+    assert small < raw
+
+
+def test_bench_decode(benchmark, index):
+    compressed, _, _ = compress_index(index)
+    largest = max(compressed.values(), key=len)
+    ids, freqs = benchmark(largest.decode)
+    assert len(ids) == len(freqs)

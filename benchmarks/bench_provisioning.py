@@ -1,0 +1,87 @@
+"""Capacity-planning study: homogeneous vs partitioned datacenters for a mix.
+
+Extends Tables 8/9 with workload-mix-aware sizing: servers, watts, and
+dollars to sustain a target query rate; the power-capped augmentation
+scenario; and the paper's key observation that partitioning adds little.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.datacenter import CapacityPlanner, WorkloadMix
+from repro.platforms import FPGA, GPU, PLATFORMS
+
+QPS = 100.0
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return CapacityPlanner()
+
+
+@pytest.fixture(scope="module")
+def mix():
+    return WorkloadMix()
+
+
+def test_provisioning_report(planner, mix, save_report):
+    rows = []
+    for platform in PLATFORMS:
+        plan = planner.plan(mix, QPS, platform)
+        rows.append(
+            [platform, plan.n_servers, f"{plan.total_watts / 1000:.1f}",
+             f"${plan.monthly_cost:,.0f}", f"${plan.cost_per_qps:,.0f}"]
+        )
+    homogeneous = format_table(
+        f"Homogeneous provisioning for {QPS:g} qps (mix: 50% VC / 35% VQ / 15% VIQ)",
+        ["Platform", "Servers", "kW", "Monthly cost", "$/qps"], rows,
+    )
+
+    partitioned = planner.partitioned_plan(mix, QPS)
+    rows2 = [
+        [service, pool["platform"], pool["servers"], f"${pool['monthly_cost']:,.0f}"]
+        for service, pool in partitioned.items()
+    ]
+    rows2.append(
+        ["TOTAL", "", sum(p["servers"] for p in partitioned.values()),
+         f"${planner.partitioned_monthly_cost(mix, QPS):,.0f}"]
+    )
+    partitioned_table = format_table(
+        "Partitioned provisioning (cheapest platform per service pool)",
+        ["Service", "Platform", "Servers", "Monthly cost"], rows2,
+    )
+
+    capped_platform, capped_load = planner.power_capped_design(mix, 50_000.0)
+    footer = (
+        f"Power-capped augmentation (50 kW budget): {capped_platform} serves "
+        f"{capped_load:.0f} qps — 'FPGA ... desirable for datacenters with "
+        f"power constraints' (Section 5.2.3)"
+    )
+    save_report(
+        "provisioning", "\n\n".join([homogeneous, partitioned_table, footer])
+    )
+
+
+def test_accelerated_dc_cheaper_than_baseline(planner, mix):
+    baseline = planner.plan(mix, QPS, "cmp").monthly_cost
+    assert planner.plan(mix, QPS, GPU).monthly_cost < baseline
+    assert planner.plan(mix, QPS, FPGA).monthly_cost < baseline
+
+
+def test_partitioning_adds_little(planner, mix):
+    """Paper key observation: 'partitioned heterogeneity ... does not
+    provide much benefit over the homogeneous design'."""
+    homogeneous = planner.cheapest_platform(mix, QPS).monthly_cost
+    partitioned = planner.partitioned_monthly_cost(mix, QPS)
+    assert partitioned >= 0.75 * homogeneous  # no dramatic win
+    assert partitioned <= 1.25 * homogeneous  # and no dramatic loss
+
+
+def test_power_capped_prefers_fpga(planner, mix):
+    platform, _ = planner.power_capped_design(mix, 50_000.0)
+    assert platform == FPGA
+
+
+def test_bench_partitioned_plan(benchmark, planner, mix):
+    plan = benchmark(planner.partitioned_plan, mix, QPS)
+    assert len(plan) == 3

@@ -1,0 +1,58 @@
+"""Roofline cross-check of Table 5 (supporting analysis, not a paper figure).
+
+Prints the model's per-kernel speedup bounds next to the published
+measurements and reports Spearman rank correlations.  The model's honest
+scope: it explains the *pattern* (dense kernels accelerate enormously,
+branchy kernels barely, SIMD machines punish divergence, FPGAs do not) —
+it does not predict custom-datapath wins like the 169x FPGA GMM.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.platforms import GPU, KERNEL_SPEEDUPS, PLATFORMS
+from repro.platforms.roofline import (
+    KERNEL_PROFILES,
+    rank_correlation,
+    roofline_table,
+)
+
+
+def test_roofline_report(save_report):
+    table = roofline_table()
+    rows = []
+    for kernel in KERNEL_PROFILES:
+        row = [kernel]
+        for platform in PLATFORMS:
+            row.append(
+                f"{table[kernel][platform]:.0f} / {KERNEL_SPEEDUPS[kernel][platform]:.1f}"
+            )
+        rows.append(row)
+    correlations = []
+    for platform in PLATFORMS:
+        predicted = [table[k][platform] for k in KERNEL_PROFILES]
+        measured = [KERNEL_SPEEDUPS[k][platform] for k in KERNEL_PROFILES]
+        correlations.append(
+            f"{platform}: rho={rank_correlation(predicted, measured):.2f}"
+        )
+    report = (
+        format_table(
+            "Roofline bound / Table 5 measured speedup",
+            ["Kernel", *PLATFORMS], rows,
+        )
+        + "\n\nSpearman rank correlation (predicted vs measured): "
+        + ", ".join(correlations)
+    )
+    save_report("roofline_crosscheck", report)
+
+
+def test_gpu_pattern_explained():
+    table = roofline_table()
+    predicted = [table[k][GPU] for k in KERNEL_PROFILES]
+    measured = [KERNEL_SPEEDUPS[k][GPU] for k in KERNEL_PROFILES]
+    assert rank_correlation(predicted, measured) > 0.6
+
+
+def test_bench_roofline_table(benchmark):
+    table = benchmark(roofline_table)
+    assert len(table) == 7

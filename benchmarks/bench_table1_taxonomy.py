@@ -1,0 +1,47 @@
+"""Table 1 & Table 2: the query taxonomy and the voice-query input set.
+
+Regenerates the taxonomy table (query type, example, services, result,
+count) and benchmarks one representative query of each class end to end.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import QueryType, VOICE_QUERIES
+
+
+def test_table1_taxonomy_report(inputs, save_report):
+    rows = [
+        ["Voice Command (VC)", f'"{inputs.voice_commands[0].text}"',
+         "ASR", "Action on user's device", len(inputs.voice_commands)],
+        ["Voice Query (VQ)", f'"{inputs.voice_queries[3].text}"',
+         "ASR & QA", "Best answer from QA", len(inputs.voice_queries)],
+        ["Voice-Image Query (VIQ)", f'"{inputs.voice_image_queries[0].text}"',
+         "ASR, QA & IMM", "Best results from IMM and QA",
+         len(inputs.voice_image_queries)],
+    ]
+    report = format_table(
+        "Table 1: Query Taxonomy",
+        ["Query Type", "Example", "Service", "Result", "# of Queries"],
+        rows,
+    )
+    save_report("table1_taxonomy", report)
+    assert [row[-1] for row in rows] == [16, 16, 10]
+
+
+def test_table2_voice_query_input_set(save_report):
+    rows = [[f"q{i + 1}", f'"{q}"', a] for i, (q, a) in enumerate(VOICE_QUERIES)]
+    report = format_table(
+        "Table 2: Voice Query Input Set (with ground-truth answers)",
+        ["Q#", "Query", "Expected answer"],
+        rows,
+    )
+    save_report("table2_voice_queries", report)
+    assert len(rows) == 16
+
+
+@pytest.mark.parametrize("query_type", list(QueryType), ids=lambda t: t.value)
+def test_bench_one_query_per_type(benchmark, pipeline, inputs, query_type):
+    query = inputs.by_type(query_type)[0]
+    response = benchmark(pipeline.process, query)
+    assert response.query_type == query_type

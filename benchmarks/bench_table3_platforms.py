@@ -1,0 +1,46 @@
+"""Table 3 & Table 6: platform specifications, power, and cost."""
+
+from repro.analysis import format_table
+from repro.platforms import PLATFORMS, server_price, server_watts, spec
+
+
+def test_table3_report(save_report):
+    rows = [
+        [
+            s.key.upper(), s.model, f"{s.frequency_ghz:.2f} GHz",
+            s.n_cores or "N/A", s.n_hw_threads or "N/A",
+            f"{s.memory_gb:g} GB", f"{s.memory_bw_gbs:g} GB/s",
+            f"{s.peak_tflops:g}",
+        ]
+        for s in (spec(p) for p in PLATFORMS)
+    ]
+    report = format_table(
+        "Table 3: Platform specifications",
+        ["Key", "Model", "Freq", "Cores", "HW threads", "Memory", "Mem BW",
+         "Peak TFLOPS"],
+        rows,
+    )
+    save_report("table3_platforms", report)
+    assert len(rows) == 4
+
+
+def test_table6_report(save_report):
+    rows = [
+        [
+            s.key.upper(), f"{s.tdp_watts:g} W", f"${s.cost_dollars:,.0f}",
+            f"{server_watts(s.key):g} W", f"${server_price(s.key):,.0f}",
+        ]
+        for s in (spec(p) for p in PLATFORMS)
+    ]
+    report = format_table(
+        "Table 6: Platform power (TDP) and cost, plus equipped-server totals",
+        ["Platform", "TDP", "Cost", "Server watts", "Server price"],
+        rows,
+    )
+    save_report("table6_power_cost", report)
+    assert spec("fpga").tdp_watts < spec("cmp").tdp_watts
+
+
+def test_bench_spec_lookup(benchmark):
+    result = benchmark(lambda: [spec(p).tdp_watts for p in PLATFORMS])
+    assert len(result) == 4

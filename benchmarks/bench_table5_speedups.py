@@ -1,0 +1,60 @@
+"""Table 5 / Figure 13: kernel speedups across platforms (the heat map).
+
+The per-kernel numbers are the paper's published calibration values; the
+derived service-level speedups (with Amdahl accounting for the HMM) are
+printed alongside, plus an ASCII heat map.
+"""
+
+import pytest
+
+from repro.analysis import format_bar, format_matrix, format_table
+from repro.platforms import (
+    KERNEL_SPEEDUPS,
+    PLATFORMS,
+    heat_map_rows,
+    service_speedup_table,
+)
+
+
+def test_table5_report(save_report):
+    rows = [
+        [service, kernel.upper(), *[speeds[p] for p in PLATFORMS]]
+        for service, kernel, speeds in heat_map_rows()
+    ]
+    table = format_table(
+        "Table 5: Speedup of Sirius Suite across platforms (paper calibration)",
+        ["Service", "Benchmark", *[p.upper() for p in PLATFORMS]],
+        rows,
+        float_format="{:.1f}",
+    )
+    service_table = format_matrix(
+        "Derived service-level speedups (Amdahl over component fractions)",
+        "Service",
+        service_speedup_table(),
+        columns=list(PLATFORMS),
+    )
+    save_report("table5_speedups", table + "\n\n" + service_table)
+
+    # Paper shape checks.
+    assert KERNEL_SPEEDUPS["gmm"]["fpga"] > KERNEL_SPEEDUPS["gmm"]["gpu"]
+    assert KERNEL_SPEEDUPS["fd"]["gpu"] > KERNEL_SPEEDUPS["fd"]["fpga"]
+    nlp_gpu = [KERNEL_SPEEDUPS[k]["gpu"] for k in ("stemmer", "crf")]
+    assert all(value < 10 for value in nlp_gpu)  # branchy NLP resists SIMD
+
+
+def test_fig13_heat_map(save_report):
+    peak = max(max(row.values()) for row in KERNEL_SPEEDUPS.values())
+    lines = ["Figure 13: Heat map of acceleration results (bar length ~ log-ish scale)"]
+    for service, kernel, speeds in heat_map_rows():
+        for platform in PLATFORMS:
+            value = speeds[platform]
+            lines.append(
+                f"{service:4s} {kernel:8s} {platform:5s} "
+                f"{format_bar(value, peak):40s} {value:6.1f}x"
+            )
+    save_report("fig13_heat_map", "\n".join(lines))
+
+
+def test_bench_service_speedup_table(benchmark):
+    table = benchmark(service_speedup_table)
+    assert len(table) == 4

@@ -1,0 +1,54 @@
+"""Table 8: homogeneous datacenter design per objective and candidate set.
+
+Paper's picks: latency -> FPGA (GPU without FPGA, CMP without both);
+TCO with latency constraint -> GPU/CMP; energy efficiency -> FPGA.
+Our quantitative model agrees everywhere except Hmg-TCO "with FPGA", where
+FPGA's aggregate normalized TCO edges out GPU's — the paper itself notes
+the GPU choice there leans on engineering cost, which is outside the model
+(see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.datacenter import CANDIDATE_SETS, EFFICIENCY, LATENCY, TCO
+from repro.platforms import CMP, FPGA, GPU
+
+
+def test_table8_report(designer, save_report):
+    table = designer.homogeneous_table()
+    rows = [
+        [objective, *[table[objective][name] for name in CANDIDATE_SETS]]
+        for objective in (LATENCY, TCO, EFFICIENCY)
+    ]
+    report = format_table(
+        "Table 8: homogeneous DC design (chosen platform per objective)",
+        ["Objective", *CANDIDATE_SETS],
+        rows,
+    )
+    save_report("table8_homogeneous", report)
+
+
+def test_latency_row_matches_paper(designer):
+    row = designer.homogeneous_table()[LATENCY]
+    assert row["with FPGA"] == FPGA
+    assert row["without FPGA"] == GPU
+    assert row["without FPGA/GPU"] == CMP
+
+
+def test_efficiency_row_matches_paper(designer):
+    row = designer.homogeneous_table()[EFFICIENCY]
+    assert row["with FPGA"] == FPGA
+
+
+def test_tco_row_shape(designer):
+    row = designer.homogeneous_table()[TCO]
+    # GPU or FPGA must win with accelerators available; CMP without them.
+    assert row["with FPGA"] in (GPU, FPGA)
+    assert row["without FPGA"] == GPU
+    assert row["without FPGA/GPU"] == CMP
+
+
+def test_bench_homogeneous_search(benchmark, designer):
+    table = benchmark(designer.homogeneous_table)
+    assert len(table) == 3

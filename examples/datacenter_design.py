@@ -1,0 +1,65 @@
+"""Datacenter design study: the Section 5 analysis as a script.
+
+Prints the service speedups across platforms, per-service latency and TCO,
+the homogeneous/heterogeneous design choices, and the bridged scalability
+gap — the complete accelerator story of the paper in one run.
+
+Run with::
+
+    python examples/datacenter_design.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis import format_matrix, format_table
+from repro.datacenter import DatacenterDesigner, paper_gap
+from repro.platforms import PLATFORMS, service_speedup_table
+
+
+def main() -> None:
+    designer = DatacenterDesigner()
+
+    print(format_matrix(
+        "Service speedups across platforms (from Table 5 + Amdahl composition)",
+        "Service", service_speedup_table(), columns=list(PLATFORMS),
+    ))
+
+    print("\n" + format_matrix(
+        "Service latency (seconds, paper-scale baselines)",
+        "Service", designer.model.latency_table(),
+        columns=["baseline", *PLATFORMS], float_format="{:.3f}",
+    ))
+
+    table8 = designer.homogeneous_table()
+    rows = [[objective, *[table8[objective][name] for name in
+             ("with FPGA", "without FPGA", "without FPGA/GPU")]]
+            for objective in table8]
+    print("\n" + format_table(
+        "Homogeneous DC design (Table 8)",
+        ["Objective", "with FPGA", "without FPGA", "without FPGA/GPU"],
+        rows,
+    ))
+
+    print("\nQuery-level summary for the two best datacenters (Figure 20):")
+    for platform in ("gpu", "fpga"):
+        summary = designer.query_level_summary(platform)
+        average = designer.average_query_latency_improvement(platform)
+        print(f"  {platform.upper():5s} average latency gain {average:.1f}x  "
+              + "  ".join(
+                  f"{qt}:{row['latency_improvement']:.1f}x"
+                  for qt, row in summary.items()
+              ))
+
+    gap = paper_gap()
+    print(f"\nScalability gap: {gap.gap:.0f}x today; "
+          f"{gap.bridged_gap(designer.average_query_latency_improvement('gpu')):.0f}x "
+          f"with GPU DCs; "
+          f"{gap.bridged_gap(designer.average_query_latency_improvement('fpga')):.0f}x "
+          f"with FPGA DCs (Figure 21).")
+
+
+if __name__ == "__main__":
+    main()

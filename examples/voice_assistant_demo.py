@@ -1,0 +1,63 @@
+"""Full input-set demo: run all 42 queries and score the assistant.
+
+Reproduces the end-to-end behaviour of Section 2 — speech in, natural-
+language answers (and image matches) out — and reports per-class accuracy:
+ASR transcript exactness, QA answer correctness against the knowledge base,
+and IMM image-identification correctness.
+
+Run with::
+
+    python examples/voice_assistant_demo.py [--asr-backend dnn]
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import InputSet, SiriusPipeline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--asr-backend", choices=("gmm", "dnn"), default="gmm",
+        help="acoustic model family (paper: Sphinx GMM vs Kaldi/RASR DNN)",
+    )
+    args = parser.parse_args()
+
+    print(f"Building Sirius with the {args.asr_backend.upper()} ASR backend...")
+    pipeline = SiriusPipeline.build(asr_backend=args.asr_backend)
+    inputs = InputSet.build()
+
+    totals = {}
+    for query in inputs.all_queries:
+        response = pipeline.process(query)
+        key = query.expected_type.value
+        stats = totals.setdefault(key, {"n": 0, "asr": 0, "qa": 0, "imm": 0, "ms": 0.0})
+        stats["n"] += 1
+        stats["ms"] += response.latency * 1000
+        stats["asr"] += response.transcript == query.text
+        if query.expected_answer:
+            stats["qa"] += query.expected_answer in response.answer.lower()
+        if query.expected_image:
+            stats["imm"] += response.matched_image == query.expected_image
+        print(f"  {response.summary()}")
+
+    print("\nPer-class results:")
+    for key, stats in totals.items():
+        line = (
+            f"  {key:3s}  n={stats['n']:2d}  "
+            f"ASR exact {stats['asr']}/{stats['n']}  "
+            f"mean latency {stats['ms'] / stats['n']:.0f} ms"
+        )
+        if key in ("VQ", "VIQ"):
+            line += f"  QA correct {stats['qa']}"
+        if key == "VIQ":
+            line += f"  IMM correct {stats['imm']}/{stats['n']}"
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

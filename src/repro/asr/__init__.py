@@ -1,0 +1,79 @@
+"""Automatic Speech Recognition service (Sphinx/Kaldi/RASR replacement).
+
+The full pipeline: :class:`Synthesizer` (test audio) → :class:`FeatureExtractor`
+(MFCC) → :class:`GMMAcousticModel` or :class:`DNNAcousticModel` (scoring) →
+:class:`Decoder` (HMM Viterbi search with a bigram LM).
+"""
+
+from repro.asr.align import ForcedAligner, WordAlignment
+from repro.asr.evaluate import (
+    WERResult,
+    evaluate_wer,
+    noise_robustness_sweep,
+    word_edit_distance,
+)
+from repro.asr.quantize import QuantizedDNN, agreement, quantize
+from repro.asr.streaming import StreamingDecoder, StreamingFeatureExtractor
+from repro.asr.vad import SpeechSegment, VADConfig, VoiceActivityDetector
+from repro.asr.acoustic import (
+    DNNAcousticModel,
+    GMMAcousticModel,
+    N_EMISSION_STATES,
+    STATES_PER_PHONEME,
+    TrainingData,
+    collect_training_data,
+    phoneme_state_id,
+    train_dnn_acoustic_model,
+    train_gmm_acoustic_model,
+)
+from repro.asr.audio import SAMPLE_RATE, Synthesizer, Waveform
+from repro.asr.decoder import DecodeResult, Decoder
+from repro.asr.dnn import DeepNeuralNetwork, DNNConfig
+from repro.asr.features import FeatureConfig, FeatureExtractor
+from repro.asr.gmm import DiagonalGMM, fit_gmm, score_naive
+from repro.asr.lm import BigramLanguageModel, TrigramLanguageModel, rescore_nbest
+from repro.asr.phonemes import N_PHONEMES, PHONEMES, pronounce
+
+__all__ = [
+    "BigramLanguageModel",
+    "ForcedAligner",
+    "QuantizedDNN",
+    "WERResult",
+    "WordAlignment",
+    "agreement",
+    "evaluate_wer",
+    "noise_robustness_sweep",
+    "quantize",
+    "word_edit_distance",
+    "DNNAcousticModel",
+    "DNNConfig",
+    "DecodeResult",
+    "Decoder",
+    "DeepNeuralNetwork",
+    "DiagonalGMM",
+    "FeatureConfig",
+    "FeatureExtractor",
+    "GMMAcousticModel",
+    "N_EMISSION_STATES",
+    "N_PHONEMES",
+    "PHONEMES",
+    "SAMPLE_RATE",
+    "STATES_PER_PHONEME",
+    "SpeechSegment",
+    "StreamingDecoder",
+    "StreamingFeatureExtractor",
+    "VADConfig",
+    "VoiceActivityDetector",
+    "Synthesizer",
+    "TrainingData",
+    "TrigramLanguageModel",
+    "rescore_nbest",
+    "Waveform",
+    "collect_training_data",
+    "fit_gmm",
+    "phoneme_state_id",
+    "pronounce",
+    "score_naive",
+    "train_dnn_acoustic_model",
+    "train_gmm_acoustic_model",
+]

@@ -1,0 +1,199 @@
+"""Acoustic models: per-state GMMs and the hybrid DNN, plus their trainers.
+
+The acoustic state space is ``(N_PHONEMES + 1) * STATES_PER_PHONEME`` HMM
+emission states — three left-to-right states per phoneme plus a silence
+unit.  Both model families expose ``emission_scores(features)`` returning a
+``(T, n_states)`` matrix of emission log-likelihoods; the Viterbi decoder is
+agnostic to which family produced them, mirroring how Sirius swaps Sphinx's
+GMM for Kaldi/RASR's DNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.asr.audio import SAMPLE_RATE, Synthesizer
+from repro.asr.dnn import DeepNeuralNetwork, DNNConfig
+from repro.asr.features import FeatureConfig, FeatureExtractor
+from repro.asr.gmm import DiagonalGMM, fit_gmm
+from repro.asr.phonemes import N_PHONEMES, PHONEME_INDEX
+from repro.errors import ModelError
+
+STATES_PER_PHONEME = 3
+SILENCE = "SIL"
+SILENCE_INDEX = N_PHONEMES  # appended after the real phonemes
+N_UNITS = N_PHONEMES + 1
+N_EMISSION_STATES = N_UNITS * STATES_PER_PHONEME
+
+
+def phoneme_state_id(symbol: str, sub_state: int) -> int:
+    """Emission-state id for (phoneme, sub-state)."""
+    if not 0 <= sub_state < STATES_PER_PHONEME:
+        raise ModelError(f"sub_state out of range: {sub_state}")
+    unit = SILENCE_INDEX if symbol == SILENCE else PHONEME_INDEX[symbol]
+    return unit * STATES_PER_PHONEME + sub_state
+
+
+class AcousticModel(Protocol):
+    """Anything that scores feature frames against emission states."""
+
+    def emission_scores(self, features: np.ndarray) -> np.ndarray:
+        """(T, N_EMISSION_STATES) emission log-likelihoods."""
+        ...
+
+
+@dataclass
+class GMMAcousticModel:
+    """One diagonal GMM per emission state (the Sphinx-style model).
+
+    States that had too little training data score through the ``fallback``
+    GMM (fit on all frames) with ``fallback_penalty`` subtracted, so rare
+    states stay reachable without being preferred.
+    """
+
+    gmms: Dict[int, DiagonalGMM]
+    fallback: Optional[DiagonalGMM] = None
+    fallback_penalty: float = 8.0
+
+    def emission_scores(self, features: np.ndarray) -> np.ndarray:
+        if self.fallback is not None:
+            base = self.fallback.log_likelihood(features) - self.fallback_penalty
+            scores = np.tile(base[:, None], (1, N_EMISSION_STATES))
+        else:
+            scores = np.full((len(features), N_EMISSION_STATES), -1e30)
+        for state, gmm in self.gmms.items():
+            scores[:, state] = gmm.log_likelihood(features)
+        return scores
+
+
+@dataclass
+class DNNAcousticModel:
+    """Hybrid DNN/HMM model: scaled posteriors as emission scores."""
+
+    network: DeepNeuralNetwork
+
+    def emission_scores(self, features: np.ndarray) -> np.ndarray:
+        if self.network.config.n_classes != N_EMISSION_STATES:
+            raise ModelError("DNN output size must match emission-state count")
+        return self.network.emission_log_likelihood(features)
+
+
+# ---------------------------------------------------------------------------
+# Frame labeling from synthesis alignments
+# ---------------------------------------------------------------------------
+
+
+def label_frames(
+    alignment: Sequence[Tuple[str, int, int]],
+    n_frames: int,
+    n_samples: int,
+    feature_config: FeatureConfig,
+    sample_rate: int = SAMPLE_RATE,
+) -> np.ndarray:
+    """Assign each feature frame an emission-state label.
+
+    A frame is labeled by the phoneme covering its center sample; each
+    phoneme segment splits evenly into its three HMM sub-states.  Samples
+    not covered by any phoneme (inter-word pauses) label as silence.
+    """
+    hop = int(feature_config.frame_hop * sample_rate)
+    frame_size = int(feature_config.frame_length * sample_rate)
+    labels = np.full(n_frames, phoneme_state_id(SILENCE, 1), dtype=np.int64)
+    for symbol, start, end in alignment:
+        if end <= start:
+            continue
+        span = end - start
+        for frame in range(n_frames):
+            center = frame * hop + frame_size // 2
+            if start <= center < end:
+                third = min(int(3 * (center - start) / span), 2)
+                labels[frame] = phoneme_state_id(symbol, third)
+    return labels
+
+
+@dataclass
+class TrainingData:
+    """Pooled labeled frames for acoustic-model training."""
+
+    features: np.ndarray  # (N, D)
+    labels: np.ndarray    # (N,)
+
+
+#: Noise levels cycled across training takes (multi-condition training, so
+#: the models stay robust from clean audio up to heavy noise).
+TRAINING_NOISE_LEVELS = (0.0, 0.02, 0.05, 0.1)
+
+
+def collect_training_data(
+    sentences: Iterable[str],
+    synthesizer: Optional[Synthesizer] = None,
+    extractor: Optional[FeatureExtractor] = None,
+    repetitions: int = 3,
+) -> TrainingData:
+    """Synthesize sentences (several noisy takes each) and label every frame."""
+    extractor = extractor if extractor is not None else FeatureExtractor()
+    feature_blocks: List[np.ndarray] = []
+    label_blocks: List[np.ndarray] = []
+    sentences = list(sentences)
+    for repetition in range(repetitions):
+        noise = TRAINING_NOISE_LEVELS[repetition % len(TRAINING_NOISE_LEVELS)]
+        synth = (
+            synthesizer
+            if synthesizer is not None
+            else Synthesizer(seed=1000 + repetition, noise_level=noise)
+        )
+        for sentence in sentences:
+            waveform, alignment = synth.aligned_synthesize(sentence)
+            features = extractor.extract(waveform)
+            labels = label_frames(
+                alignment, len(features), len(waveform), extractor.config,
+                waveform.sample_rate,
+            )
+            feature_blocks.append(features)
+            label_blocks.append(labels)
+    if not feature_blocks:
+        raise ModelError("no training sentences supplied")
+    return TrainingData(np.vstack(feature_blocks), np.concatenate(label_blocks))
+
+
+def train_gmm_acoustic_model(
+    data: TrainingData,
+    n_components: int = 2,
+    n_iterations: int = 6,
+) -> GMMAcousticModel:
+    """Fit a per-state diagonal GMM wherever the state has enough frames."""
+    gmms: Dict[int, DiagonalGMM] = {}
+    for state in range(N_EMISSION_STATES):
+        member_rows = data.features[data.labels == state]
+        if len(member_rows) < 2 * n_components:
+            continue
+        components = min(n_components, max(1, len(member_rows) // 8))
+        gmms[state] = fit_gmm(member_rows, components, n_iterations, seed=state)
+    if not gmms:
+        raise ModelError("no emission state had enough training frames")
+    fallback = fit_gmm(
+        data.features, n_components=min(4, len(data.features) // 8), seed=12345
+    )
+    return GMMAcousticModel(gmms, fallback=fallback)
+
+
+def train_dnn_acoustic_model(
+    data: TrainingData,
+    hidden_sizes: Tuple[int, ...] = (256, 256),
+    epochs: int = 20,
+    feature_dim: Optional[int] = None,
+) -> DNNAcousticModel:
+    """Train the hybrid DNN on the same labeled frames."""
+    dimension = feature_dim if feature_dim is not None else data.features.shape[1]
+    config = DNNConfig(
+        input_dim=dimension,
+        n_classes=N_EMISSION_STATES,
+        hidden_sizes=hidden_sizes,
+        epochs=epochs,
+    )
+    network = DeepNeuralNetwork(config)
+    network.fit(data.features, data.labels)
+    return DNNAcousticModel(network)

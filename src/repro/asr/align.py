@@ -1,0 +1,188 @@
+"""Forced alignment: time-align a known transcript to audio.
+
+Given the spoken text, the decoder graph collapses to a single left-to-right
+chain (words in order, optional silence between them); Viterbi over that
+chain yields per-word start/end frames.  IPAs use alignments for captioning,
+barge-in detection, and training-data labeling — and our acoustic-model
+trainer can cross-check its synthesis alignments against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.asr.acoustic import (
+    AcousticModel,
+    SILENCE,
+    STATES_PER_PHONEME,
+    phoneme_state_id,
+)
+from repro.asr.audio import Waveform
+from repro.asr.features import FeatureExtractor
+from repro.asr.phonemes import pronounce
+from repro.errors import DecodingError
+
+
+@dataclass(frozen=True)
+class WordAlignment:
+    """One aligned word: frame span and times in seconds."""
+
+    word: str
+    start_frame: int
+    end_frame: int  # exclusive
+    frame_hop: float
+
+    @property
+    def start_time(self) -> float:
+        return self.start_frame * self.frame_hop
+
+    @property
+    def end_time(self) -> float:
+        return self.end_frame * self.frame_hop
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+class ForcedAligner:
+    """Aligns transcripts to waveforms through an acoustic model."""
+
+    def __init__(
+        self,
+        acoustic_model: AcousticModel,
+        feature_extractor: Optional[FeatureExtractor] = None,
+        self_loop_prob: float = 0.7,
+    ):
+        if not 0 < self_loop_prob < 1:
+            raise DecodingError("self_loop_prob must be in (0, 1)")
+        self.acoustic_model = acoustic_model
+        self.feature_extractor = (
+            feature_extractor if feature_extractor is not None else FeatureExtractor()
+        )
+        self.log_self = float(np.log(self_loop_prob))
+        self.log_adv = float(np.log(1.0 - self_loop_prob))
+
+    def _build_chain(self, words: Sequence[str]) -> Tuple[List[int], List[int], List[bool]]:
+        """(emission state ids, word index per state, optional-skip flags).
+
+        The chain is: [SIL] word1 [SIL] word2 [SIL] ... — silence states are
+        skippable (the optional flag marks states whose *entry* may be
+        bypassed from the previous non-optional state).
+        """
+        pstates: List[int] = []
+        word_of: List[int] = []
+        optional: List[bool] = []
+
+        def add_silence() -> None:
+            for sub in range(STATES_PER_PHONEME):
+                pstates.append(phoneme_state_id(SILENCE, sub))
+                word_of.append(-1)
+                optional.append(True)
+
+        add_silence()
+        for index, word in enumerate(words):
+            symbols = pronounce(word)
+            if not symbols:
+                raise DecodingError(f"word has no pronunciation: {word!r}")
+            for symbol in symbols:
+                for sub in range(STATES_PER_PHONEME):
+                    pstates.append(phoneme_state_id(symbol, sub))
+                    word_of.append(index)
+                    optional.append(False)
+            add_silence()
+        return pstates, word_of, optional
+
+    def align(self, waveform: Waveform, text: str) -> List[WordAlignment]:
+        """Per-word frame spans for ``text`` spoken in ``waveform``."""
+        words = text.split()
+        if not words:
+            raise DecodingError("empty transcript")
+        features = self.feature_extractor.extract(waveform)
+        if len(features) == 0:
+            raise DecodingError("no feature frames")
+        emissions = self.acoustic_model.emission_scores(features)
+        pstates, word_of, optional = self._build_chain(words)
+        n_states = len(pstates)
+        n_frames = len(features)
+        scores = emissions[:, pstates]  # (T, S)
+
+        neg_inf = -1e30
+        delta = np.full(n_states, neg_inf)
+        # Entry states: state 0, plus states reachable by skipping leading
+        # optional silence.
+        entry = 0
+        while True:
+            delta[entry] = scores[0, entry]
+            if not optional[entry] or entry + 1 >= n_states:
+                break
+            entry += 1
+        backpointer = np.zeros((n_frames, n_states), dtype=np.int8)  # 0=stay,1..k=jump
+
+        # Precompute, for each state, the list of predecessor states: the
+        # previous state, plus skips over optional silence runs.
+        predecessors: List[List[int]] = [[] for _ in range(n_states)]
+        for state in range(1, n_states):
+            predecessors[state].append(state - 1)
+            back = state - 1
+            while back >= 0 and optional[back]:
+                back -= 1
+                if back >= 0:
+                    predecessors[state].append(back)
+
+        choice = np.zeros((n_frames, n_states), dtype=np.int16)
+        for t in range(1, n_frames):
+            new_delta = np.full(n_states, neg_inf)
+            for state in range(n_states):
+                best = delta[state] + self.log_self
+                best_prev = state
+                for previous in predecessors[state]:
+                    candidate = delta[previous] + self.log_adv
+                    if candidate > best:
+                        best = candidate
+                        best_prev = previous
+                new_delta[state] = best + scores[t, state]
+                choice[t, state] = best_prev
+            delta = new_delta
+
+        # Terminal: last state, or skip back over trailing optional silence.
+        terminal = n_states - 1
+        best_terminal = terminal
+        best_score = delta[terminal]
+        back = terminal
+        while back >= 0 and optional[back]:
+            back -= 1
+            if back >= 0 and delta[back] > best_score:
+                best_score = delta[back]
+                best_terminal = back
+        if best_score <= neg_inf / 2:
+            raise DecodingError("alignment failed (transcript/audio mismatch?)")
+
+        # Backtrace the state path.
+        path = np.empty(n_frames, dtype=np.int64)
+        path[-1] = best_terminal
+        for t in range(n_frames - 1, 0, -1):
+            path[t - 1] = choice[t, path[t]]
+
+        # Collapse to word spans.
+        hop = self.feature_extractor.config.frame_hop
+        alignments: List[WordAlignment] = []
+        current_word = -1
+        start_frame = 0
+        for t in range(n_frames):
+            word_index = word_of[path[t]]
+            if word_index != current_word:
+                if current_word >= 0:
+                    alignments.append(
+                        WordAlignment(words[current_word], start_frame, t, hop)
+                    )
+                current_word = word_index
+                start_frame = t
+        if current_word >= 0:
+            alignments.append(
+                WordAlignment(words[current_word], start_frame, n_frames, hop)
+            )
+        return alignments

@@ -1,0 +1,148 @@
+"""Diagonal-covariance Gaussian mixture models for acoustic scoring.
+
+This is the paper's GMM kernel (Table 4): "the major computation of the
+algorithm lies in three nested loops that iteratively score the feature
+vector against the training data" — feature vectors against per-state means,
+precisions, and mixture weights.  :meth:`DiagonalGMM.log_likelihood` is the
+vectorized scorer used in production paths; :func:`score_naive` keeps the
+literal three-nested-loop form as the single-threaded CMP baseline the suite
+benchmarks against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+@dataclass
+class DiagonalGMM:
+    """K-component diagonal GMM over D-dimensional features.
+
+    Parameters are stored exactly as the paper's FPGA design consumes them
+    (Figure 11): a means vector, a precisions ("precs") vector, per-component
+    log-weights, and a per-component additive factor folding in the Gaussian
+    normalization constants.
+    """
+
+    means: np.ndarray        # (K, D)
+    precisions: np.ndarray   # (K, D) -- 1 / variance
+    log_weights: np.ndarray  # (K,)
+
+    def __post_init__(self) -> None:
+        if self.means.ndim != 2 or self.means.shape != self.precisions.shape:
+            raise ModelError("means and precisions must both be (K, D)")
+        if self.log_weights.shape != (self.means.shape[0],):
+            raise ModelError("log_weights must be (K,)")
+        if np.any(self.precisions <= 0):
+            raise ModelError("precisions must be positive")
+        # factor[k] = log w_k - 0.5 * (D log 2pi - sum log prec_k)
+        dimension = self.means.shape[1]
+        self.factors = (
+            self.log_weights
+            - 0.5 * (dimension * _LOG_2PI - np.log(self.precisions).sum(axis=1))
+        )
+
+    @property
+    def n_components(self) -> int:
+        return self.means.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        return self.means.shape[1]
+
+    def component_log_likelihood(self, features: np.ndarray) -> np.ndarray:
+        """(T, K) per-component log densities (weights included)."""
+        features = np.atleast_2d(features)
+        if features.shape[1] != self.dimension:
+            raise ModelError(
+                f"feature dimension {features.shape[1]} != model {self.dimension}"
+            )
+        # (T, K): -0.5 * sum_d prec * (x - mu)^2, computed via broadcasting.
+        diff = features[:, None, :] - self.means[None, :, :]
+        mahalanobis = np.einsum("tkd,kd->tk", diff * diff, self.precisions)
+        return self.factors[None, :] - 0.5 * mahalanobis
+
+    def log_likelihood(self, features: np.ndarray) -> np.ndarray:
+        """(T,) log p(x_t) via log-sum-exp over components."""
+        component = self.component_log_likelihood(features)
+        peak = component.max(axis=1, keepdims=True)
+        return (peak + np.log(np.exp(component - peak).sum(axis=1, keepdims=True))).ravel()
+
+    def score(self, feature: np.ndarray) -> float:
+        """Log-likelihood of a single feature vector."""
+        return float(self.log_likelihood(feature[None, :])[0])
+
+
+def score_naive(gmm: DiagonalGMM, features: np.ndarray) -> np.ndarray:
+    """Literal three-nested-loop GMM scoring (the CMP baseline kernel).
+
+    Outer loop over feature vectors, middle loop over mixture components
+    (the log-summation the paper could not parallelize), inner loop over
+    dimensions (the log-differential unit it fully parallelized on FPGA).
+    """
+    features = np.atleast_2d(features)
+    n_frames = features.shape[0]
+    out = np.empty(n_frames)
+    for t in range(n_frames):
+        total = -np.inf
+        for k in range(gmm.n_components):
+            acc = gmm.factors[k]
+            for d in range(gmm.dimension):
+                diff = features[t, d] - gmm.means[k, d]
+                acc -= 0.5 * gmm.precisions[k, d] * diff * diff
+            total = max(total, acc) + np.log1p(np.exp(-abs(total - acc)))
+        out[t] = total
+    return out
+
+
+def fit_gmm(
+    data: np.ndarray,
+    n_components: int = 4,
+    n_iterations: int = 10,
+    seed: int = 0,
+    min_variance: float = 1e-3,
+) -> DiagonalGMM:
+    """Fit a diagonal GMM with k-means initialization then EM.
+
+    Small and deterministic; adequate for per-phoneme-state acoustic models
+    trained on synthesized speech.
+    """
+    data = np.atleast_2d(data)
+    n_samples, dimension = data.shape
+    if n_samples < n_components:
+        raise ModelError("need at least one sample per component")
+    rng = np.random.default_rng(seed)
+
+    # k-means++-style init: spread starting means over the data.
+    means = data[rng.choice(n_samples, size=n_components, replace=False)].copy()
+    for _ in range(5):
+        distances = ((data[:, None, :] - means[None, :, :]) ** 2).sum(axis=2)
+        assignment = distances.argmin(axis=1)
+        for k in range(n_components):
+            members = data[assignment == k]
+            if len(members):
+                means[k] = members.mean(axis=0)
+
+    variances = np.full((n_components, dimension), data.var(axis=0) + min_variance)
+    weights = np.full(n_components, 1.0 / n_components)
+
+    for _ in range(n_iterations):
+        gmm = DiagonalGMM(means, 1.0 / variances, np.log(weights))
+        log_resp = gmm.component_log_likelihood(data)
+        peak = log_resp.max(axis=1, keepdims=True)
+        resp = np.exp(log_resp - peak)
+        resp /= resp.sum(axis=1, keepdims=True)
+
+        counts = resp.sum(axis=0) + 1e-10
+        weights = counts / counts.sum()
+        means = (resp.T @ data) / counts[:, None]
+        squared = (resp.T @ (data * data)) / counts[:, None]
+        variances = np.maximum(squared - means**2, min_variance)
+
+    return DiagonalGMM(means, 1.0 / variances, np.log(weights))

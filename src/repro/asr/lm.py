@@ -1,0 +1,166 @@
+"""Bigram language model with add-k smoothing (the ASR "Language Model" box)."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ModelError
+
+BOS = "<s>"
+EOS = "</s>"
+
+
+class BigramLanguageModel:
+    """P(word | previous word) over a closed vocabulary.
+
+    >>> lm = BigramLanguageModel(["set my alarm", "set my timer"])
+    >>> lm.log_prob("my", "set") > lm.log_prob("alarm", "set")
+    True
+    """
+
+    def __init__(self, sentences: Iterable[str], add_k: float = 0.1):
+        if add_k <= 0:
+            raise ModelError("add_k must be positive")
+        self.add_k = add_k
+        self._unigrams: Counter = Counter()
+        self._bigrams: Dict[str, Counter] = defaultdict(Counter)
+        n_sentences = 0
+        for sentence in sentences:
+            words = [w.lower() for w in sentence.split() if w]
+            if not words:
+                continue
+            n_sentences += 1
+            previous = BOS
+            for word in words:
+                self._unigrams[word] += 1
+                self._bigrams[previous][word] += 1
+                previous = word
+            self._bigrams[previous][EOS] += 1
+        if n_sentences == 0:
+            raise ModelError("language model needs at least one sentence")
+        self.vocabulary: List[str] = sorted(self._unigrams)
+        self._vocab_size = len(self.vocabulary) + 1  # +1 for EOS
+
+    def log_prob(self, word: str, previous: str = BOS) -> float:
+        """Smoothed log P(word | previous)."""
+        word = word.lower()
+        previous = previous.lower() if previous not in (BOS, EOS) else previous
+        context = self._bigrams.get(previous, Counter())
+        numerator = context.get(word, 0) + self.add_k
+        denominator = sum(context.values()) + self.add_k * self._vocab_size
+        return math.log(numerator / denominator)
+
+    def sentence_log_prob(self, sentence: str) -> float:
+        """Joint log probability of a sentence, including the EOS event."""
+        words = [w.lower() for w in sentence.split() if w]
+        total = 0.0
+        previous = BOS
+        for word in words:
+            total += self.log_prob(word, previous)
+            previous = word
+        return total + self.log_prob(EOS, previous)
+
+    def transition_matrix(self, words: Sequence[str]) -> "np.ndarray":
+        """(V+1, V) matrix of log P(words[j] | row) for decoding.
+
+        Row V is the BOS context; used by the Viterbi decoder to vectorize
+        cross-word transitions.
+        """
+        import numpy as np
+
+        size = len(words)
+        matrix = np.empty((size + 1, size))
+        for column, word in enumerate(words):
+            for row, previous in enumerate(words):
+                matrix[row, column] = self.log_prob(word, previous)
+            matrix[size, column] = self.log_prob(word, BOS)
+        return matrix
+
+    def eos_vector(self, words: Sequence[str]) -> "np.ndarray":
+        """(V,) log P(EOS | word) for final-state scoring."""
+        import numpy as np
+
+        return np.array([self.log_prob(EOS, word) for word in words])
+
+
+class TrigramLanguageModel:
+    """Interpolated trigram LM for second-pass (n-best) rescoring.
+
+    P(w | u, v) = l3*ML(w|u,v) + l2*ML(w|v) + l1*ML(w), with add-k smoothing
+    on the unigram floor.  Decoding stays bigram (the graph would otherwise
+    need per-history states); the trigram re-ranks the decoder's n-best list
+    — the classic two-pass architecture large-vocabulary systems use.
+    """
+
+    def __init__(
+        self,
+        sentences: Iterable[str],
+        weights: Tuple[float, float, float] = (0.6, 0.3, 0.1),
+        add_k: float = 0.1,
+    ):
+        l3, l2, l1 = weights
+        if min(weights) < 0 or not 0.99 <= l3 + l2 + l1 <= 1.01:
+            raise ModelError("interpolation weights must be >= 0 and sum to 1")
+        self.weights = weights
+        self.add_k = add_k
+        self._unigrams: Counter = Counter()
+        self._bigrams: Dict[str, Counter] = defaultdict(Counter)
+        self._trigrams: Dict[Tuple[str, str], Counter] = defaultdict(Counter)
+        n_sentences = 0
+        for sentence in sentences:
+            words = [w.lower() for w in sentence.split() if w]
+            if not words:
+                continue
+            n_sentences += 1
+            history = (BOS, BOS)
+            for word in words + [EOS]:
+                self._unigrams[word] += 1
+                self._bigrams[history[1]][word] += 1
+                self._trigrams[history][word] += 1
+                history = (history[1], word)
+        if n_sentences == 0:
+            raise ModelError("language model needs at least one sentence")
+        self._total_words = sum(self._unigrams.values())
+        self._vocab_size = len(self._unigrams)
+
+    def probability(self, word: str, context: Tuple[str, str]) -> float:
+        """Interpolated P(word | context); context is (u, v)."""
+        word = word.lower()
+        u, v = context
+        l3, l2, l1 = self.weights
+        tri = self._trigrams.get((u, v), Counter())
+        tri_total = sum(tri.values())
+        p3 = tri.get(word, 0) / tri_total if tri_total else 0.0
+        bi = self._bigrams.get(v, Counter())
+        bi_total = sum(bi.values())
+        p2 = bi.get(word, 0) / bi_total if bi_total else 0.0
+        p1 = (self._unigrams.get(word, 0) + self.add_k) / (
+            self._total_words + self.add_k * (self._vocab_size + 1)
+        )
+        return l3 * p3 + l2 * p2 + l1 * p1
+
+    def sentence_log_prob(self, sentence: str) -> float:
+        words = [w.lower() for w in sentence.split() if w]
+        history = (BOS, BOS)
+        total = 0.0
+        for word in words + [EOS]:
+            total += math.log(max(self.probability(word, history), 1e-300))
+            history = (history[1], word)
+        return total
+
+
+def rescore_nbest(results, trigram: TrigramLanguageModel, weight: float = 5.0):
+    """Re-rank an n-best list by decoder score + weighted trigram score.
+
+    Returns the results sorted by the combined score, best first.
+    """
+    if weight < 0:
+        raise ModelError("rescoring weight must be >= 0")
+    scored = [
+        (result.log_score + weight * trigram.sentence_log_prob(result.text), result)
+        for result in results
+    ]
+    scored.sort(key=lambda item: -item[0])
+    return [result for _, result in scored]

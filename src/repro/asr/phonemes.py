@@ -1,0 +1,191 @@
+"""Phoneme inventory and grapheme-to-phoneme lexicon.
+
+A reduced ARPAbet-style inventory keeps the acoustic state space small while
+still giving every English-ish word a distinct pronunciation.  The synthesizer
+(:mod:`repro.asr.synth`) and the acoustic models share this inventory, so any
+word the lexicon can transcribe can be both spoken and recognized.
+
+Each phoneme carries a formant triple (Hz) used for synthesis; the triples are
+spread across the speech band so phonemes are spectrally separable after the
+MFCC front-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Phoneme:
+    """One phoneme: symbol, formant frequencies (Hz), and voicing."""
+
+    symbol: str
+    formants: Tuple[float, float, float]
+    voiced: bool
+
+
+#: The inventory.  Formants are stylized but ordered like real vowel charts.
+PHONEMES: List[Phoneme] = [
+    Phoneme("AA", (730.0, 1090.0, 2440.0), True),   # f-a-ther
+    Phoneme("AE", (660.0, 1720.0, 2410.0), True),   # c-a-t
+    Phoneme("AH", (520.0, 1190.0, 2390.0), True),   # b-u-t
+    Phoneme("AO", (570.0, 840.0, 2410.0), True),    # c-augh-t
+    Phoneme("EH", (530.0, 1840.0, 2480.0), True),   # b-e-d
+    Phoneme("ER", (490.0, 1350.0, 1690.0), True),   # b-ir-d
+    Phoneme("EY", (480.0, 2100.0, 2700.0), True),   # b-ai-t
+    Phoneme("IH", (390.0, 1990.0, 2550.0), True),   # b-i-t
+    Phoneme("IY", (270.0, 2290.0, 3010.0), True),   # b-ee-t
+    Phoneme("OW", (450.0, 900.0, 2300.0), True),    # b-oa-t
+    Phoneme("UW", (300.0, 870.0, 2240.0), True),    # b-oo-t
+    Phoneme("B", (200.0, 800.0, 1800.0), True),
+    Phoneme("D", (250.0, 1700.0, 2600.0), True),
+    Phoneme("F", (900.0, 2100.0, 3300.0), False),
+    Phoneme("G", (230.0, 1300.0, 2200.0), True),
+    Phoneme("HH", (800.0, 1600.0, 2900.0), False),
+    Phoneme("K", (350.0, 1500.0, 2500.0), False),
+    Phoneme("L", (380.0, 1100.0, 2600.0), True),
+    Phoneme("M", (280.0, 1000.0, 2100.0), True),
+    Phoneme("N", (320.0, 1400.0, 2300.0), True),
+    Phoneme("P", (300.0, 900.0, 2000.0), False),
+    Phoneme("R", (420.0, 1300.0, 1600.0), True),
+    Phoneme("S", (1200.0, 2500.0, 3600.0), False),
+    Phoneme("T", (400.0, 1800.0, 2900.0), False),
+    Phoneme("V", (250.0, 1100.0, 2400.0), True),
+    Phoneme("W", (330.0, 700.0, 2200.0), True),
+    Phoneme("Y", (290.0, 2000.0, 2800.0), True),
+    Phoneme("Z", (1000.0, 2200.0, 3400.0), True),
+    Phoneme("CH", (1100.0, 2300.0, 3200.0), False),
+    Phoneme("SH", (1000.0, 1900.0, 3100.0), False),
+    Phoneme("TH", (950.0, 1950.0, 3350.0), False),
+    Phoneme("NG", (300.0, 1200.0, 2350.0), True),
+]
+
+PHONEME_BY_SYMBOL: Dict[str, Phoneme] = {p.symbol: p for p in PHONEMES}
+N_PHONEMES = len(PHONEMES)
+PHONEME_INDEX: Dict[str, int] = {p.symbol: i for i, p in enumerate(PHONEMES)}
+
+#: Pronunciations for words common in the IPA query input set.  Anything not
+#: listed falls back to rule-based grapheme-to-phoneme conversion.
+EXCEPTIONS: Dict[str, List[str]] = {
+    "the": ["TH", "AH"],
+    "of": ["AH", "V"],
+    "is": ["IH", "Z"],
+    "was": ["W", "AH", "Z"],
+    "what": ["W", "AH", "T"],
+    "who": ["HH", "UW"],
+    "where": ["W", "EH", "R"],
+    "when": ["W", "EH", "N"],
+    "why": ["W", "IY"],
+    "how": ["HH", "AH", "W"],
+    "which": ["W", "IH", "CH"],
+    "capital": ["K", "AE", "P", "IH", "T", "AH", "L"],
+    "president": ["P", "R", "EH", "Z", "IH", "D", "EH", "N", "T"],
+    "author": ["AO", "TH", "ER"],
+    "my": ["M", "IY"],
+    "for": ["F", "AO", "R"],
+    "to": ["T", "UW"],
+    "set": ["S", "EH", "T"],
+    "alarm": ["AH", "L", "AA", "R", "M"],
+    "eight": ["EY", "T"],
+    "am": ["AE", "M"],
+    "close": ["K", "L", "OW", "Z"],
+    "this": ["TH", "IH", "S"],
+    "does": ["D", "AH", "Z"],
+    "restaurant": ["R", "EH", "S", "T", "ER", "AA", "N", "T"],
+    "current": ["K", "ER", "EH", "N", "T"],
+    "united": ["Y", "UW", "N", "IY", "T", "IH", "D"],
+    "states": ["S", "T", "EY", "T", "S"],
+    "elected": ["IH", "L", "EH", "K", "T", "IH", "D"],
+}
+
+#: Letter-cluster to phoneme rules, applied greedily longest-first.
+_G2P_RULES: List[Tuple[str, List[str]]] = [
+    ("tion", ["SH", "AH", "N"]),
+    ("ight", ["IY", "T"]),
+    ("ough", ["OW"]),
+    ("augh", ["AO"]),
+    ("ch", ["CH"]),
+    ("sh", ["SH"]),
+    ("th", ["TH"]),
+    ("ng", ["NG"]),
+    ("ph", ["F"]),
+    ("wh", ["W"]),
+    ("ck", ["K"]),
+    ("qu", ["K", "W"]),
+    ("ee", ["IY"]),
+    ("oo", ["UW"]),
+    ("ou", ["AH", "W"]),
+    ("ai", ["EY"]),
+    ("ay", ["EY"]),
+    ("oa", ["OW"]),
+    ("ea", ["IY"]),
+    ("a", ["AE"]),
+    ("b", ["B"]),
+    ("c", ["K"]),
+    ("d", ["D"]),
+    ("e", ["EH"]),
+    ("f", ["F"]),
+    ("g", ["G"]),
+    ("h", ["HH"]),
+    ("i", ["IH"]),
+    ("j", ["CH"]),
+    ("k", ["K"]),
+    ("l", ["L"]),
+    ("m", ["M"]),
+    ("n", ["N"]),
+    ("o", ["OW"]),
+    ("p", ["P"]),
+    ("r", ["R"]),
+    ("s", ["S"]),
+    ("t", ["T"]),
+    ("u", ["AH"]),
+    ("v", ["V"]),
+    ("w", ["W"]),
+    ("x", ["K", "S"]),
+    ("y", ["Y"]),
+    ("z", ["Z"]),
+]
+
+
+def grapheme_to_phonemes(word: str) -> List[str]:
+    """Rule-based fallback pronunciation for an arbitrary word.
+
+    >>> grapheme_to_phonemes("rome")
+    ['R', 'OW', 'M', 'EH']
+    """
+    word = "".join(char for char in word.lower() if char.isalpha())
+    phonemes: List[str] = []
+    position = 0
+    while position < len(word):
+        for cluster, output in _G2P_RULES:
+            if word.startswith(cluster, position):
+                phonemes.extend(output)
+                position += len(cluster)
+                break
+        else:
+            position += 1  # unknown character: skip
+    return phonemes
+
+
+def pronounce(word: str) -> List[str]:
+    """Phoneme sequence for ``word``: exception dictionary, then G2P rules."""
+    lowered = word.lower()
+    if lowered in EXCEPTIONS:
+        return list(EXCEPTIONS[lowered])
+    if lowered.isdigit():
+        return _pronounce_number(lowered)
+    return grapheme_to_phonemes(lowered)
+
+
+_DIGIT_WORDS = {
+    "0": "zero", "1": "one", "2": "two", "3": "three", "4": "four",
+    "5": "five", "6": "six", "7": "seven", "8": "eight", "9": "nine",
+}
+
+
+def _pronounce_number(digits: str) -> List[str]:
+    phonemes: List[str] = []
+    for digit in digits:
+        phonemes.extend(pronounce(_DIGIT_WORDS[digit]))
+    return phonemes

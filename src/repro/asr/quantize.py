@@ -1,0 +1,90 @@
+"""Int8 weight quantization for the acoustic DNN.
+
+DNN accelerators (the DianNao line the paper cites) run low-precision
+arithmetic; this module quantizes a trained
+:class:`~repro.asr.dnn.DeepNeuralNetwork` to per-layer symmetric int8 and
+scores frames with integer weights, so the accuracy cost of that design
+choice is measurable (see ``bench_ablation_quantization``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.asr.dnn import DeepNeuralNetwork, _log_softmax, _relu
+from repro.errors import ModelError
+
+
+@dataclass
+class QuantizedLayer:
+    """One layer: int8 weights plus the float scale that dequantizes them."""
+
+    weights_q: np.ndarray  # int8, (fan_in, fan_out)
+    scale: float           # weight ~= weights_q * scale
+    bias: np.ndarray       # float (biases are cheap; kept in float)
+
+
+class QuantizedDNN:
+    """An int8-weight version of a trained DNN.
+
+    Activations stay in float (weight-only quantization, the common
+    inference deployment); matmuls run on the int8 weights cast through the
+    per-layer scale.
+    """
+
+    def __init__(self, network: DeepNeuralNetwork):
+        self.config = network.config
+        self.log_priors = network.log_priors.copy()
+        self.layers: List[QuantizedLayer] = []
+        for weights, bias in zip(network.weights, network.biases):
+            peak = float(np.abs(weights).max())
+            if peak == 0.0:
+                raise ModelError("cannot quantize an all-zero layer")
+            scale = peak / 127.0
+            quantized = np.clip(np.round(weights / scale), -127, 127).astype(np.int8)
+            self.layers.append(QuantizedLayer(quantized, scale, bias.copy()))
+
+    def forward(self, stacked: np.ndarray) -> np.ndarray:
+        activation = stacked
+        last = len(self.layers) - 1
+        for index, layer in enumerate(self.layers):
+            activation = (activation @ layer.weights_q.astype(np.float64)) * layer.scale
+            activation = activation + layer.bias
+            if index != last:
+                activation = _relu(activation)
+        return activation
+
+    def stack_context(self, features: np.ndarray) -> np.ndarray:
+        # Delegate to an uninitialized shell network for the same stacking.
+        shell = DeepNeuralNetwork.__new__(DeepNeuralNetwork)
+        shell.config = self.config
+        return DeepNeuralNetwork.stack_context(shell, features)
+
+    def log_posteriors(self, features: np.ndarray) -> np.ndarray:
+        return _log_softmax(self.forward(self.stack_context(features)))
+
+    def emission_log_likelihood(self, features: np.ndarray) -> np.ndarray:
+        return self.log_posteriors(features) - self.log_priors[None, :]
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.log_posteriors(features).argmax(axis=1)
+
+    @property
+    def model_bytes(self) -> int:
+        """Weight storage in bytes (the compression win: 8x vs float64)."""
+        return sum(layer.weights_q.nbytes for layer in self.layers)
+
+
+def quantize(network: DeepNeuralNetwork) -> QuantizedDNN:
+    """Quantize a trained DNN to int8 weights."""
+    return QuantizedDNN(network)
+
+
+def agreement(network: DeepNeuralNetwork, quantized: QuantizedDNN, features: np.ndarray) -> float:
+    """Fraction of frames where float and int8 models pick the same class."""
+    return float(
+        (network.predict(features) == quantized.predict(features)).mean()
+    )

@@ -1,0 +1,246 @@
+"""Streaming (online) speech recognition.
+
+Real IPAs decode while the user is still talking.  This module provides:
+
+- :class:`StreamingFeatureExtractor` — incremental MFCCs: audio arrives in
+  arbitrary chunks; frames are emitted as soon as their samples (plus the
+  2-frame delta lookahead) exist;
+- :class:`StreamingDecoder` — a stateful Viterbi: ``feed`` audio chunks,
+  read ``partial()`` hypotheses any time, ``finish()`` for the final
+  result.  The final transcript matches offline decoding of the same audio
+  up to edge effects at the tail padding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.asr.audio import Waveform
+from repro.asr.decoder import DecodeResult, Decoder
+from repro.asr.features import FeatureConfig, FeatureExtractor, compute_deltas
+from repro.errors import DecodingError
+
+
+class StreamingFeatureExtractor:
+    """Incremental MFCC extraction with delta lookahead.
+
+    ``push(samples)`` returns any newly completed feature rows; ``flush()``
+    pads the tail (edge-style, matching the offline extractor) and returns
+    the remaining rows.
+    """
+
+    LOOKAHEAD = 2  # frames of future context the delta window needs
+
+    def __init__(self, config: FeatureConfig = FeatureConfig(), sample_rate: int = 16000):
+        self.config = config
+        self.sample_rate = sample_rate
+        # Pre-emphasis is applied incrementally here (it needs one sample of
+        # cross-chunk context), so the inner extractor runs with it off.
+        self._extractor = FeatureExtractor(
+            FeatureConfig(
+                frame_length=config.frame_length,
+                frame_hop=config.frame_hop,
+                n_filters=config.n_filters,
+                n_coefficients=config.n_coefficients,
+                pre_emphasis=0.0,
+                low_freq=config.low_freq,
+                high_freq=config.high_freq,
+                add_deltas=False,
+                cmvn=False,  # CMVN needs the whole utterance; not streamable
+            )
+        )
+        self._frame_size = int(config.frame_length * sample_rate)
+        self._hop = int(config.frame_hop * sample_rate)
+        self._sample_buffer = np.zeros(0)
+        self._prev_raw: Optional[float] = None  # last raw sample (pre-emphasis carry)
+        self._cepstra: List[np.ndarray] = []   # all static frames so far
+        self._emitted = 0                       # frames already released
+
+    def push(self, samples: np.ndarray) -> np.ndarray:
+        """Add audio; return newly available (n, dim) feature rows."""
+        samples = np.asarray(samples, dtype=float).ravel()
+        if len(samples):
+            # Incremental pre-emphasis: y[i] = x[i] - a*x[i-1], carrying the
+            # previous chunk's last raw sample (first sample passes through,
+            # as in the offline extractor).
+            alpha = self.config.pre_emphasis
+            if alpha > 0:
+                previous = np.empty_like(samples)
+                previous[1:] = samples[:-1]
+                if self._prev_raw is None:
+                    emphasized = samples.copy()
+                    previous[0] = 0.0
+                    emphasized[1:] = samples[1:] - alpha * previous[1:]
+                else:
+                    previous[0] = self._prev_raw
+                    emphasized = samples - alpha * previous
+                self._prev_raw = float(samples[-1])
+                samples = emphasized
+            self._sample_buffer = np.concatenate([self._sample_buffer, samples])
+        # Process every complete frame window currently in the buffer.
+        n_ready = 1 + (len(self._sample_buffer) - self._frame_size) // self._hop
+        if n_ready > 0:
+            used = (n_ready - 1) * self._hop + self._frame_size
+            rows = self._extractor.extract(
+                Waveform(self._sample_buffer[:used], self.sample_rate)
+            )
+            self._cepstra.extend(rows[:n_ready])
+            self._sample_buffer = self._sample_buffer[n_ready * self._hop :]
+        return self._release(final=False)
+
+    def _release(self, final: bool) -> np.ndarray:
+        available = len(self._cepstra) - (0 if final else self.LOOKAHEAD)
+        if available <= self._emitted:
+            return np.zeros((0, self.config.dimension))
+        static = np.vstack(self._cepstra)
+        if self.config.add_deltas:
+            full = np.hstack([static, compute_deltas(static)])
+        else:
+            full = static
+        rows = full[self._emitted : available]
+        self._emitted = available
+        return rows
+
+    def flush(self) -> np.ndarray:
+        """Emit the remaining frames (tail lookahead resolved by padding)."""
+        return self._release(final=True)
+
+    @property
+    def n_frames_emitted(self) -> int:
+        return self._emitted
+
+
+class StreamingDecoder:
+    """Online Viterbi over a :class:`~repro.asr.decoder.Decoder`'s graph.
+
+    >>> streaming = StreamingDecoder(decoder)          # doctest: +SKIP
+    >>> for chunk in chunks: streaming.feed(chunk)     # doctest: +SKIP
+    >>> streaming.finish().text                        # doctest: +SKIP
+    """
+
+    def __init__(self, decoder: Decoder):
+        self.decoder = decoder
+        self._features = StreamingFeatureExtractor(decoder.feature_extractor.config)
+        graph = decoder._graph
+        self._n_states = len(graph.pstate)
+        self._delta: Optional[np.ndarray] = None
+        self._hist = np.full(self._n_states, -1, dtype=np.int64)
+        self._links: List[Tuple[int, int]] = []
+        self._frames_seen = 0
+        self._finished = False
+
+    # -- core stepping ----------------------------------------------------------
+
+    def _step_frames(self, features: np.ndarray) -> None:
+        if len(features) == 0:
+            return
+        decoder = self.decoder
+        graph = decoder._graph
+        emissions = decoder.acoustic_model.emission_scores(features)
+        frame_scores = emissions[:, graph.pstate]
+        n_words = len(decoder.vocabulary)
+        neg_inf = -1e30
+
+        for row in range(len(features)):
+            if self._delta is None:
+                bos = decoder.lm_weight * decoder._lm_matrix[n_words] + decoder.insertion_penalty
+                self._delta = np.full(self._n_states, neg_inf)
+                self._delta[graph.starts] = frame_scores[row, graph.starts] + bos
+                self._delta[0] = frame_scores[row, 0]  # lead silence
+                self._frames_seen += 1
+                continue
+            delta = self._delta
+            hist = self._hist
+            stay = delta + decoder.log_self
+            advance = np.empty(self._n_states)
+            advance[0] = neg_inf
+            advance[1:] = delta[:-1] + decoder.log_adv
+            advance[graph.is_start] = neg_inf
+            take = advance > stay
+            new_delta = np.where(take, advance, stay)
+            new_hist = hist.copy()
+            moved = np.where(take)[0]
+            new_hist[moved] = hist[moved - 1]
+
+            end_phone = delta[graph.phone_ends]
+            end_sil = delta[graph.sil_ends]
+            use_sil = end_sil > end_phone
+            end_scores = np.where(use_sil, end_sil, end_phone)
+            end_states = np.where(use_sil, graph.sil_ends, graph.phone_ends)
+            candidate = end_scores[:, None] + decoder.lm_weight * decoder._lm_matrix[:n_words]
+            best_prev = np.argmax(candidate, axis=0)
+            entry = candidate[best_prev, np.arange(n_words)] + decoder.insertion_penalty
+            entry_delta = entry + decoder.log_adv
+            bos_entry = (
+                delta[graph.lead_sil_end]
+                + decoder.lm_weight * decoder._lm_matrix[n_words]
+                + decoder.insertion_penalty
+                + decoder.log_adv
+            )
+            better = np.maximum(entry_delta, bos_entry) > new_delta[graph.starts]
+            for word_index in np.where(better)[0]:
+                state = graph.starts[word_index]
+                if bos_entry[word_index] >= entry_delta[word_index]:
+                    new_delta[state] = bos_entry[word_index]
+                    new_hist[state] = hist[graph.lead_sil_end]
+                else:
+                    prev_word = int(best_prev[word_index])
+                    self._links.append((prev_word, int(hist[int(end_states[prev_word])])))
+                    new_delta[state] = entry_delta[word_index]
+                    new_hist[state] = len(self._links) - 1
+
+            new_delta += frame_scores[row]
+            if decoder.beam is not None:
+                new_delta[new_delta < new_delta.max() - decoder.beam] = neg_inf
+            self._delta = new_delta
+            self._hist = new_hist
+            self._frames_seen += 1
+
+    # -- public API ------------------------------------------------------------------
+
+    def feed(self, samples: np.ndarray) -> None:
+        """Add an audio chunk (any length, including empty)."""
+        if self._finished:
+            raise DecodingError("decoder already finished; create a new one")
+        self._step_frames(self._features.push(samples))
+
+    def partial(self) -> str:
+        """Best running hypothesis over the audio so far ('' before any frame)."""
+        result = self._best_result()
+        return result.text if result is not None else ""
+
+    def finish(self) -> DecodeResult:
+        """Flush buffered audio and return the final result."""
+        if not self._finished:
+            self._step_frames(self._features.flush())
+            self._finished = True
+        result = self._best_result()
+        if result is None:
+            raise DecodingError("no audio decoded")
+        return result
+
+    def _best_result(self) -> Optional[DecodeResult]:
+        if self._delta is None:
+            return None
+        decoder = self.decoder
+        graph = decoder._graph
+        delta = self._delta
+        end_phone = delta[graph.phone_ends]
+        end_sil = delta[graph.sil_ends]
+        use_sil = end_sil > end_phone
+        end_scores = np.where(use_sil, end_sil, end_phone)
+        end_states = np.where(use_sil, graph.sil_ends, graph.phone_ends)
+        final = end_scores + decoder.lm_weight * decoder._lm_eos
+        best_word = int(np.argmax(final))
+        if final[best_word] <= -5e29:
+            return None
+        words = decoder._backtrack(int(self._hist[int(end_states[best_word])]), self._links)
+        words.append(decoder.vocabulary[best_word])
+        return DecodeResult(
+            text=" ".join(words),
+            words=tuple(words),
+            log_score=float(final[best_word]),
+            n_frames=self._frames_seen,
+        )

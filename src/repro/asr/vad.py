@@ -1,0 +1,121 @@
+"""Energy-based voice activity detection (VAD).
+
+IPAs run a cheap VAD ahead of the recognizer: it gates what audio is sent
+to the server (the paper's mobile side sends *compressed recordings of
+voice commands*, not an open microphone).  This detector tracks frame
+energy against an adaptive noise floor with hangover smoothing, and can
+trim or segment a waveform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.asr.audio import Waveform
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VADConfig:
+    """Detector parameters."""
+
+    frame_length: float = 0.02     # seconds per analysis frame
+    threshold_db: float = 9.0      # speech must exceed floor by this much
+    hangover_frames: int = 5       # frames speech persists after energy drops
+    floor_percentile: float = 20.0  # noise-floor estimate percentile
+    #: Ceiling on the estimated noise floor: recordings that are wall-to-wall
+    #: speech have no quiet frames, so the percentile alone would sit inside
+    #: the speech band and suppress everything.
+    max_floor_db: float = -35.0
+
+    def __post_init__(self) -> None:
+        if self.frame_length <= 0:
+            raise ConfigurationError("frame_length must be positive")
+        if self.hangover_frames < 0:
+            raise ConfigurationError("hangover_frames must be >= 0")
+        if not 0 < self.floor_percentile < 100:
+            raise ConfigurationError("floor_percentile must be in (0, 100)")
+
+
+@dataclass(frozen=True)
+class SpeechSegment:
+    """One detected speech region, in seconds."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class VoiceActivityDetector:
+    """Adaptive energy VAD over fixed frames."""
+
+    def __init__(self, config: VADConfig = VADConfig()):
+        self.config = config
+
+    def frame_energies_db(self, waveform: Waveform) -> np.ndarray:
+        """Per-frame RMS energy in dB (floored at -100 dB)."""
+        size = max(int(self.config.frame_length * waveform.sample_rate), 1)
+        n_frames = max(len(waveform.samples) // size, 1)
+        trimmed = waveform.samples[: n_frames * size]
+        frames = trimmed.reshape(n_frames, size) if len(trimmed) >= size else np.zeros((1, size))
+        rms = np.sqrt((frames**2).mean(axis=1))
+        return 20.0 * np.log10(np.maximum(rms, 1e-5))
+
+    def speech_mask(self, waveform: Waveform) -> np.ndarray:
+        """Boolean per-frame speech/silence decision with hangover."""
+        energies = self.frame_energies_db(waveform)
+        floor = min(
+            float(np.percentile(energies, self.config.floor_percentile)),
+            self.config.max_floor_db,
+        )
+        raw = energies > floor + self.config.threshold_db
+        mask = raw.copy()
+        hang = 0
+        for index in range(len(raw)):
+            if raw[index]:
+                hang = self.config.hangover_frames
+            elif hang > 0:
+                mask[index] = True
+                hang -= 1
+        return mask
+
+    def segments(self, waveform: Waveform) -> List[SpeechSegment]:
+        """Contiguous speech regions, in seconds."""
+        mask = self.speech_mask(waveform)
+        frame_seconds = self.config.frame_length
+        result: List[SpeechSegment] = []
+        start = None
+        for index, active in enumerate(mask):
+            if active and start is None:
+                start = index
+            elif not active and start is not None:
+                result.append(SpeechSegment(start * frame_seconds, index * frame_seconds))
+                start = None
+        if start is not None:
+            result.append(SpeechSegment(start * frame_seconds, len(mask) * frame_seconds))
+        return result
+
+    def trim(self, waveform: Waveform, padding: float = 0.05) -> Waveform:
+        """Waveform cut to [first speech - padding, last speech + padding].
+
+        Returns the input unchanged when no speech is detected.
+        """
+        found = self.segments(waveform)
+        if not found:
+            return waveform
+        start = max(found[0].start - padding, 0.0)
+        end = min(found[-1].end + padding, waveform.duration)
+        lo = int(start * waveform.sample_rate)
+        hi = max(int(end * waveform.sample_rate), lo + 1)
+        return Waveform(waveform.samples[lo:hi], waveform.sample_rate)
+
+    def speech_fraction(self, waveform: Waveform) -> float:
+        """Fraction of frames judged to be speech."""
+        mask = self.speech_mask(waveform)
+        return float(mask.mean()) if len(mask) else 0.0

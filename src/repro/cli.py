@@ -1,0 +1,167 @@
+"""Command-line interface for the Sirius reproduction.
+
+Subcommands::
+
+    repro query "what is the capital of italy" [--image-scene 1]
+    repro demo [--asr-backend dnn] [--limit 10]
+    repro suite [--scale 0.25] [--workers 4]
+    repro design
+    repro wer [--noise 0.0 0.05 0.1]
+
+Run as ``python -m repro.cli <subcommand>`` (or the ``sirius-repro``
+console script once installed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.asr import Synthesizer
+    from repro.core import IPAQuery, SiriusPipeline
+    from repro.imm.image import SceneGenerator
+
+    pipeline = SiriusPipeline.build(asr_backend=args.asr_backend)
+    image = None
+    if args.image_scene is not None:
+        image = SceneGenerator().query_for(args.image_scene)
+    query = IPAQuery(
+        audio=Synthesizer(seed=args.seed).synthesize(args.text),
+        image=image,
+        text=args.text,
+    )
+    response = pipeline.process(query)
+    print(response.summary())
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core import InputSet, SiriusPipeline
+
+    pipeline = SiriusPipeline.build(asr_backend=args.asr_backend)
+    inputs = InputSet.build()
+    queries = inputs.all_queries[: args.limit] if args.limit else inputs.all_queries
+    correct = 0
+    for query in queries:
+        response = pipeline.process(query)
+        ok = response.transcript == query.text and (
+            not query.expected_answer
+            or query.expected_answer in response.answer.lower()
+        )
+        correct += ok
+        print(("  " if ok else "! ") + response.summary())
+    print(f"\n{correct}/{len(queries)} fully correct")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+    from repro.suite import all_kernels
+
+    rows = []
+    for kernel in all_kernels():
+        inputs = kernel.prepare(args.scale)
+        base = kernel.execute(inputs=inputs)
+        port = kernel.execute(inputs=inputs, workers=args.workers,
+                              use_processes=args.processes)
+        rows.append(
+            [kernel.service, kernel.name, base.items,
+             f"{base.seconds * 1000:.1f}", f"{port.seconds * 1000:.1f}"]
+        )
+    print(format_table(
+        f"Sirius Suite (scale={args.scale})",
+        ["Service", "Kernel", "Items", "Baseline (ms)",
+         f"{args.workers}-{'proc' if args.processes else 'thread'} (ms)"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:  # noqa: ARG001
+    from repro.analysis import format_matrix, format_table
+    from repro.datacenter import DatacenterDesigner, paper_gap
+    from repro.platforms import PLATFORMS, service_speedup_table
+
+    designer = DatacenterDesigner()
+    print(format_matrix(
+        "Service speedups", "Service", service_speedup_table(),
+        columns=list(PLATFORMS),
+    ))
+    table8 = designer.homogeneous_table()
+    rows = [[objective, *[choices[name] for name in choices]]
+            for objective, choices in table8.items()]
+    print("\n" + format_table(
+        "Homogeneous DC design",
+        ["Objective", *next(iter(table8.values())).keys()], rows,
+    ))
+    gap = paper_gap()
+    for platform in ("gpu", "fpga"):
+        improvement = designer.average_query_latency_improvement(platform)
+        print(f"{platform.upper():5s} avg query speedup {improvement:5.1f}x; "
+              f"residual gap {gap.bridged_gap(improvement):5.1f}x")
+    return 0
+
+
+def _cmd_wer(args: argparse.Namespace) -> int:
+    from repro.asr import (
+        BigramLanguageModel,
+        Decoder,
+        collect_training_data,
+        train_gmm_acoustic_model,
+    )
+    from repro.asr.evaluate import noise_robustness_sweep
+    from repro.core import all_sentences
+
+    sentences = all_sentences()
+    data = collect_training_data(sentences, repetitions=4)
+    decoder = Decoder(train_gmm_acoustic_model(data), BigramLanguageModel(sentences))
+    sweep = noise_robustness_sweep(decoder, sentences, noise_levels=args.noise)
+    for level, result in sweep.items():
+        print(f"noise {level:5.2f}: WER {result.wer:6.3f}  "
+              f"exact {result.exact_sentences}/{result.total_sentences}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="sirius-repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="process one spoken query")
+    query.add_argument("text")
+    query.add_argument("--image-scene", type=int, default=None)
+    query.add_argument("--asr-backend", choices=("gmm", "dnn"), default="gmm")
+    query.add_argument("--seed", type=int, default=2020)
+    query.set_defaults(func=_cmd_query)
+
+    demo = sub.add_parser("demo", help="run the 42-query input set")
+    demo.add_argument("--asr-backend", choices=("gmm", "dnn"), default="gmm")
+    demo.add_argument("--limit", type=int, default=0)
+    demo.set_defaults(func=_cmd_demo)
+
+    suite = sub.add_parser("suite", help="run the 7 Sirius Suite kernels")
+    suite.add_argument("--scale", type=float, default=0.25)
+    suite.add_argument("--workers", type=int, default=4)
+    suite.add_argument("--processes", action="store_true")
+    suite.set_defaults(func=_cmd_suite)
+
+    design = sub.add_parser("design", help="print the datacenter design study")
+    design.set_defaults(func=_cmd_design)
+
+    wer = sub.add_parser("wer", help="ASR noise-robustness sweep")
+    wer.add_argument("--noise", type=float, nargs="+",
+                     default=[0.0, 0.05, 0.1, 0.2])
+    wer.set_defaults(func=_cmd_wer)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Query Classifier (QC): action vs. question (paper Figure 2).
+
+"The translated speech then goes through a Query Classifier that decides if
+the speech is an action or a question.  If it is an action, the command is
+sent back to the mobile device for execution."  Commercial QCs are intent
+classifiers; ours combines imperative-verb patterns with the QA question
+detector, which is faithful to the role the paper gives it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.qa.question import is_question
+from repro.regex import Pattern
+
+#: Imperative command verbs that open device actions.
+_ACTION_PATTERNS: List[Pattern] = [
+    Pattern(r"^(set|wake|remind|call|text|play|pause|stop|open|start|turn|navigate|take|send|schedule|cancel|add|create|show)\b"),
+    Pattern(r"^(don't|do not|please) (forget|let)\b"),
+]
+
+ACTION = "action"
+QUESTION = "question"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Classifier verdict plus the evidence that produced it."""
+
+    label: str
+    matched_pattern: str = ""
+
+    @property
+    def is_action(self) -> bool:
+        return self.label == ACTION
+
+
+class QueryClassifier:
+    """Rule-based action/question classifier."""
+
+    def classify(self, transcript: str) -> Classification:
+        """Label a transcript; questions win over action verbs when both fire.
+
+        >>> QueryClassifier().classify("set my alarm for eight am").label
+        'action'
+        >>> QueryClassifier().classify("what is the capital of italy").label
+        'question'
+        """
+        text = transcript.strip().lower()
+        if not text:
+            return Classification(QUESTION)
+        if is_question(text):
+            return Classification(QUESTION)
+        for pattern in _ACTION_PATTERNS:
+            match = pattern.search(text)
+            if match is not None:
+                return Classification(ACTION, matched_pattern=pattern.pattern)
+        # Default: treat as a question so the user still gets an answer.
+        return Classification(QUESTION)

@@ -1,0 +1,180 @@
+"""The end-to-end Sirius pipeline (paper Figure 2).
+
+Life of a query: audio → ASR → Query Classifier → (action back to device) or
+(QA over the search corpus); an attached image additionally runs IMM.  Every
+service records wall time, so the same object drives the latency studies
+(Figures 7/8) and the cycle-breakdown analysis (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.asr import (
+    BigramLanguageModel,
+    Decoder,
+    collect_training_data,
+    train_dnn_acoustic_model,
+    train_gmm_acoustic_model,
+)
+from repro.core.classifier import QueryClassifier
+from repro.core.inputset import all_sentences
+from repro.profiling import Profiler
+from repro.core.query import IPAQuery, QueryType, SiriusResponse
+from repro.errors import ConfigurationError
+from repro.imm.database import ImageDatabase
+from repro.imm.image import SceneGenerator
+from repro.qa import QAEngine
+
+#: Supported acoustic back-ends (paper: Sphinx GMM vs. Kaldi/RASR DNN).
+GMM_BACKEND = "gmm"
+DNN_BACKEND = "dnn"
+
+
+@dataclass
+class SiriusPipeline:
+    """A fully assembled IPA server.
+
+    Use :meth:`build` for the standard construction (trains the acoustic
+    model on the input-set sentences, indexes the default corpus and scene
+    database); pass components explicitly for custom setups.
+    """
+
+    decoder: Decoder
+    classifier: QueryClassifier
+    qa_engine: QAEngine
+    image_database: ImageDatabase
+    asr_backend: str = GMM_BACKEND
+    #: Run QA and IMM concurrently for voice-image queries (the Lucida-style
+    #: service-parallel execution; numpy releases the GIL in IMM's hot loops).
+    parallel_services: bool = False
+
+    @classmethod
+    def build(
+        cls,
+        asr_backend: str = GMM_BACKEND,
+        training_sentences: Optional[List[str]] = None,
+        training_repetitions: int = 3,
+        n_scenes: int = 10,
+        scene_generator: Optional[SceneGenerator] = None,
+        qa_engine: Optional[QAEngine] = None,
+    ) -> "SiriusPipeline":
+        """Assemble and train all services."""
+        if asr_backend not in (GMM_BACKEND, DNN_BACKEND):
+            raise ConfigurationError(f"unknown ASR backend: {asr_backend!r}")
+        sentences = (
+            list(training_sentences) if training_sentences is not None else all_sentences()
+        )
+        data = collect_training_data(sentences, repetitions=training_repetitions)
+        if asr_backend == GMM_BACKEND:
+            acoustic_model = train_gmm_acoustic_model(data)
+        else:
+            acoustic_model = train_dnn_acoustic_model(data)
+        language_model = BigramLanguageModel(sentences)
+        decoder = Decoder(acoustic_model, language_model)
+        generator = scene_generator if scene_generator is not None else SceneGenerator()
+        database = ImageDatabase.with_scenes(n_scenes, generator=generator)
+        return cls(
+            decoder=decoder,
+            classifier=QueryClassifier(),
+            qa_engine=qa_engine if qa_engine is not None else QAEngine(),
+            image_database=database,
+            asr_backend=asr_backend,
+        )
+
+    # -- query processing ----------------------------------------------------------
+
+    def process(self, query: IPAQuery, profiler: Optional[Profiler] = None) -> SiriusResponse:
+        """Run one query through the full pipeline."""
+        import time as _time
+
+        wall_start = _time.perf_counter()
+        profiler = profiler if profiler is not None else Profiler()
+        service_seconds: Dict[str, float] = {}
+
+        before = profiler.profile.total
+        with profiler.section("asr"):
+            result = self.decoder.decode_waveform(query.audio, profiler=profiler)
+        service_seconds["ASR"] = profiler.profile.total - before
+        transcript = result.text
+
+        classification = self.classifier.classify(transcript)
+        if classification.is_action and query.image is None:
+            return SiriusResponse(
+                query_type=QueryType.VOICE_COMMAND,
+                transcript=transcript,
+                action=transcript,
+                profile=profiler.profile,
+                service_seconds=service_seconds,
+                wall_seconds=_time.perf_counter() - wall_start,
+            )
+
+        matched_image = ""
+        if query.image is not None and self.parallel_services:
+            matched_image, qa_result = self._run_services_parallel(
+                query, transcript, profiler, service_seconds
+            )
+        else:
+            if query.image is not None:
+                before = profiler.profile.total
+                with profiler.section("imm"):
+                    match = self.image_database.match(query.image, profiler=profiler)
+                service_seconds["IMM"] = profiler.profile.total - before
+                matched_image = match.image_name
+
+            before = profiler.profile.total
+            with profiler.section("qa"):
+                qa_result = self.qa_engine.answer(transcript or "?", profiler=profiler)
+            service_seconds["QA"] = profiler.profile.total - before
+
+        query_type = (
+            QueryType.VOICE_IMAGE_QUERY if query.image is not None else QueryType.VOICE_QUERY
+        )
+        return SiriusResponse(
+            query_type=query_type,
+            transcript=transcript,
+            answer=qa_result.answer_text,
+            matched_image=matched_image,
+            profile=profiler.profile,
+            service_seconds=service_seconds,
+            filter_hits=qa_result.stats.total_hits,
+            wall_seconds=_time.perf_counter() - wall_start,
+        )
+
+    def _run_services_parallel(self, query, transcript, profiler, service_seconds):
+        """QA and IMM on concurrent threads (VIQ latency optimization).
+
+        Each branch gets its own profiler (wall-clock sections from two
+        threads would double-count in one); their profiles merge afterwards,
+        and per-service seconds reflect each branch's own elapsed time.
+        """
+        import time
+        from concurrent.futures import ThreadPoolExecutor
+
+        imm_profiler = Profiler()
+        qa_profiler = Profiler()
+
+        def run_imm():
+            start = time.perf_counter()
+            match = self.image_database.match(query.image, profiler=imm_profiler)
+            return match, time.perf_counter() - start
+
+        def run_qa():
+            start = time.perf_counter()
+            result = self.qa_engine.answer(transcript or "?", profiler=qa_profiler)
+            return result, time.perf_counter() - start
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            imm_future = pool.submit(run_imm)
+            qa_future = pool.submit(run_qa)
+            match, imm_seconds = imm_future.result()
+            qa_result, qa_seconds = qa_future.result()
+        profiler.profile.merge(imm_profiler.profile)
+        profiler.profile.merge(qa_profiler.profile)
+        service_seconds["IMM"] = imm_seconds
+        service_seconds["QA"] = qa_seconds
+        return match.image_name, qa_result
+
+    def process_all(self, queries: List[IPAQuery]) -> List[SiriusResponse]:
+        return [self.process(query) for query in queries]

@@ -1,0 +1,9 @@
+"""Compatibility shim: the profiler lives in :mod:`repro.profiling`.
+
+It moved out of ``repro.core`` because low-level packages (asr, qa, imm)
+profile themselves and must not import the core package, which imports them.
+"""
+
+from repro.profiling import NullProfiler, Profile, Profiler
+
+__all__ = ["NullProfiler", "Profile", "Profiler"]

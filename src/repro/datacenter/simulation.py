@@ -1,0 +1,139 @@
+"""Discrete-event queue simulation — the empirical check on Figure 17.
+
+The paper models servers as M/M/1 queues analytically.  This simulator
+generates Poisson arrivals and serves them through c parallel servers
+(c=1 for an accelerated server, c=4 for the baseline's query-parallel
+cores), measuring response times directly, so the analytic model's
+predictions (and its convergence claims) can be validated empirically —
+including with *measured* Sirius latency distributions instead of the
+exponential assumption.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Aggregate statistics from one simulation run."""
+
+    n_completed: int
+    mean_response_time: float
+    p95_response_time: float
+    mean_waiting_time: float
+    utilization: float
+
+    @property
+    def throughput_ok(self) -> bool:
+        return self.n_completed > 0
+
+
+def exponential_sampler(mean: float, seed: int = 0) -> Callable[[], float]:
+    """Service-time sampler for the M (exponential) assumption."""
+    if mean <= 0:
+        raise ConfigurationError("mean service time must be positive")
+    rng = random.Random(seed)
+    return lambda: rng.expovariate(1.0 / mean)
+
+
+def deterministic_sampler(value: float) -> Callable[[], float]:
+    """Service-time sampler for an M/D/c run."""
+    if value <= 0:
+        raise ConfigurationError("service time must be positive")
+    return lambda: value
+
+
+def empirical_sampler(samples: Sequence[float], seed: int = 0) -> Callable[[], float]:
+    """Sampler drawing from measured latencies (e.g. real Sirius queries)."""
+    if not samples:
+        raise ConfigurationError("need at least one sample")
+    if min(samples) <= 0:
+        raise ConfigurationError("latency samples must be positive")
+    rng = random.Random(seed)
+    pool = list(samples)
+    return lambda: rng.choice(pool)
+
+
+def simulate_queue(
+    arrival_rate: float,
+    service_sampler: Callable[[], float],
+    n_servers: int = 1,
+    n_queries: int = 5000,
+    seed: int = 42,
+    warmup_fraction: float = 0.1,
+) -> SimulationResult:
+    """Simulate a FIFO G/G/c queue and report response-time statistics.
+
+    Arrivals are Poisson at ``arrival_rate``; service times come from
+    ``service_sampler``; ``n_servers`` serve in parallel from one queue.
+    The first ``warmup_fraction`` of completions is discarded.
+    """
+    if arrival_rate <= 0:
+        raise ConfigurationError("arrival rate must be positive")
+    if n_servers < 1 or n_queries < 10:
+        raise ConfigurationError("need n_servers >= 1 and n_queries >= 10")
+
+    rng = random.Random(seed)
+    # Pre-draw arrivals.
+    arrivals: List[float] = []
+    clock = 0.0
+    for _ in range(n_queries):
+        clock += rng.expovariate(arrival_rate)
+        arrivals.append(clock)
+
+    # server_free[i] = time server i becomes idle (min-heap).
+    server_free = [0.0] * n_servers
+    heapq.heapify(server_free)
+    response_times: List[float] = []
+    waiting_times: List[float] = []
+    busy_time = 0.0
+    for arrival in arrivals:
+        free_at = heapq.heappop(server_free)
+        start = max(arrival, free_at)
+        service = service_sampler()
+        finish = start + service
+        heapq.heappush(server_free, finish)
+        response_times.append(finish - arrival)
+        waiting_times.append(start - arrival)
+        busy_time += service
+
+    cutoff = int(len(response_times) * warmup_fraction)
+    kept = response_times[cutoff:]
+    kept_wait = waiting_times[cutoff:]
+    horizon = max(server_free) if server_free else 1.0
+    kept_sorted = sorted(kept)
+    p95 = kept_sorted[min(int(0.95 * len(kept_sorted)), len(kept_sorted) - 1)]
+    return SimulationResult(
+        n_completed=len(kept),
+        mean_response_time=sum(kept) / len(kept),
+        p95_response_time=p95,
+        mean_waiting_time=sum(kept_wait) / len(kept_wait),
+        utilization=min(busy_time / (n_servers * horizon), 1.0),
+    )
+
+
+def validate_mm1(
+    service_time: float,
+    load: float,
+    n_queries: int = 20000,
+    seed: int = 7,
+) -> tuple:
+    """(simulated, analytic) mean response time for one M/M/1 point."""
+    if not 0 < load < 1:
+        raise ConfigurationError("load must be in (0, 1)")
+    arrival_rate = load / service_time
+    result = simulate_queue(
+        arrival_rate,
+        exponential_sampler(service_time, seed=seed + 1),
+        n_servers=1,
+        n_queries=n_queries,
+        seed=seed,
+    )
+    analytic = service_time / (1.0 - load)
+    return result.mean_response_time, analytic

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Sirius reproduction.
+
+Every package raises subclasses of :class:`SiriusError` so callers can catch
+library failures without masking programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class SiriusError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(SiriusError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class RegexSyntaxError(SiriusError):
+    """A regular-expression pattern could not be parsed."""
+
+    def __init__(self, message: str, pattern: str, position: int):
+        super().__init__(f"{message} (pattern={pattern!r}, pos={position})")
+        self.pattern = pattern
+        self.position = position
+
+
+class DecodingError(SiriusError):
+    """ASR decoding failed (empty lattice, no surviving beam path, ...)."""
+
+
+class ModelError(SiriusError):
+    """A statistical model was used before training or with bad shapes."""
+
+
+class ImageError(SiriusError):
+    """Image-matching input was malformed (wrong dtype, empty image, ...)."""
+
+
+class QueryError(SiriusError):
+    """An IPA query was malformed or unsupported by the pipeline."""
+
+
+class DesignError(SiriusError):
+    """Datacenter design-space search was given infeasible constraints."""

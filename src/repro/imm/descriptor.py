@@ -1,0 +1,146 @@
+"""SURF feature description: orientation assignment + 64-d descriptors.
+
+Implements the paper's Feature Description stage (Figure 5, right box): Haar
+wavelet responses around each keypoint vote for a dominant orientation; a
+4x4 grid of subregions, sampled in the rotated frame, each contributes
+(sum dx, sum |dx|, sum dy, sum |dy|) for a 64-dimensional vector, normalized
+to unit length.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.imm.hessian import Keypoint
+from repro.imm.image import Image
+from repro.imm.integral import box_sum, integral_image
+
+DESCRIPTOR_SIZE = 64
+
+
+def haar_x(ii: np.ndarray, y: int, x: int, size: int) -> float:
+    """Horizontal Haar wavelet: right half minus left half of a size x size box."""
+    half = size // 2
+    return box_sum(ii, y - half, x, half * 2, half) - box_sum(
+        ii, y - half, x - half, half * 2, half
+    )
+
+
+def haar_y(ii: np.ndarray, y: int, x: int, size: int) -> float:
+    """Vertical Haar wavelet: lower half minus upper half."""
+    half = size // 2
+    return box_sum(ii, y, x - half, half, half * 2) - box_sum(
+        ii, y - half, x - half, half, half * 2
+    )
+
+
+def assign_orientation(ii: np.ndarray, keypoint: Keypoint) -> float:
+    """Dominant orientation in radians via a sliding pi/3 sector.
+
+    Haar responses at radius <= 6s, Gaussian-weighted, are accumulated in a
+    sector that slides around the circle; the sector with the largest summed
+    vector wins.
+    """
+    scale = max(int(round(keypoint.scale)), 1)
+    cy, cx = int(round(keypoint.y)), int(round(keypoint.x))
+    haar_size = 4 * scale
+    angles: List[float] = []
+    weights_x: List[float] = []
+    weights_y: List[float] = []
+    for dy in range(-6, 7):
+        for dx in range(-6, 7):
+            if dy * dy + dx * dx > 36:
+                continue
+            y = cy + dy * scale
+            x = cx + dx * scale
+            gauss = math.exp(-(dy * dy + dx * dx) / (2 * 2.5**2))
+            rx = gauss * haar_x(ii, y, x, haar_size)
+            ry = gauss * haar_y(ii, y, x, haar_size)
+            if rx == 0.0 and ry == 0.0:
+                continue
+            angles.append(math.atan2(ry, rx))
+            weights_x.append(rx)
+            weights_y.append(ry)
+    if not angles:
+        return 0.0
+
+    angles_arr = np.array(angles)
+    rx_arr = np.array(weights_x)
+    ry_arr = np.array(weights_y)
+    best_magnitude = -1.0
+    best_angle = 0.0
+    for start in np.arange(-math.pi, math.pi, math.pi / 18):
+        in_window = (angles_arr >= start) & (angles_arr < start + math.pi / 3)
+        if not in_window.any():
+            continue
+        sum_x = rx_arr[in_window].sum()
+        sum_y = ry_arr[in_window].sum()
+        magnitude = sum_x * sum_x + sum_y * sum_y
+        if magnitude > best_magnitude:
+            best_magnitude = magnitude
+            best_angle = math.atan2(sum_y, sum_x)
+    return best_angle
+
+
+def describe_keypoint(
+    ii: np.ndarray, keypoint: Keypoint, orientation: Optional[float] = None
+) -> np.ndarray:
+    """64-d SURF descriptor for one keypoint."""
+    scale = max(int(round(keypoint.scale)), 1)
+    if orientation is None:
+        orientation = assign_orientation(ii, keypoint)
+    cos_o = math.cos(orientation)
+    sin_o = math.sin(orientation)
+    cy, cx = keypoint.y, keypoint.x
+    haar_size = 2 * scale
+
+    descriptor = np.zeros(DESCRIPTOR_SIZE)
+    index = 0
+    # 4x4 subregions, each sampled at 5x5 points spaced by `scale`.
+    for sub_y in range(4):
+        for sub_x in range(4):
+            sums = np.zeros(4)  # dx, |dx|, dy, |dy|
+            for sample_y in range(5):
+                for sample_x in range(5):
+                    # Offset in the keypoint's (rotated) frame, in pixels.
+                    u = (sub_x * 5 + sample_x - 10) * scale
+                    v = (sub_y * 5 + sample_y - 10) * scale
+                    gauss = math.exp(-(u * u + v * v) / (2 * (3.3 * scale) ** 2))
+                    y = int(round(cy + (-u * sin_o + v * cos_o)))
+                    x = int(round(cx + (u * cos_o + v * sin_o)))
+                    rx = haar_x(ii, y, x, haar_size)
+                    ry = haar_y(ii, y, x, haar_size)
+                    # Rotate responses back into the keypoint frame.
+                    dx = gauss * (cos_o * rx + sin_o * ry)
+                    dy = gauss * (-sin_o * rx + cos_o * ry)
+                    sums[0] += dx
+                    sums[1] += abs(dx)
+                    sums[2] += dy
+                    sums[3] += abs(dy)
+            descriptor[index : index + 4] = sums
+            index += 4
+
+    norm = np.linalg.norm(descriptor)
+    if norm > 0:
+        descriptor /= norm
+    return descriptor
+
+
+def describe_keypoints(
+    image: Image,
+    keypoints: Sequence[Keypoint],
+    ii: Optional[np.ndarray] = None,
+    upright: bool = False,
+) -> np.ndarray:
+    """(N, 64) descriptor matrix; ``upright=True`` skips orientation (U-SURF)."""
+    ii = ii if ii is not None else integral_image(image.pixels)
+    if not keypoints:
+        return np.zeros((0, DESCRIPTOR_SIZE))
+    rows = [
+        describe_keypoint(ii, keypoint, orientation=0.0 if upright else None)
+        for keypoint in keypoints
+    ]
+    return np.vstack(rows)

@@ -1,0 +1,64 @@
+"""Integral images and constant-time box sums — the SURF workhorse.
+
+An integral image ``ii[y, x]`` holds the sum of all pixels above and left of
+(y, x); any axis-aligned box sum is then four lookups.  Every SURF stage
+(Hessian box filters, Haar wavelets) reduces to these box sums.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+
+
+def integral_image(pixels: np.ndarray) -> np.ndarray:
+    """(H+1, W+1) summed-area table with a zero top row and left column.
+
+    The padding row/column lets box sums use ``y0``/``x0`` directly without
+    branch-heavy -1 index handling.
+    """
+    if pixels.ndim != 2:
+        raise ImageError("integral image requires a 2-D array")
+    table = np.zeros((pixels.shape[0] + 1, pixels.shape[1] + 1))
+    np.cumsum(np.cumsum(pixels, axis=0), axis=1, out=table[1:, 1:])
+    return table
+
+
+def box_sum(ii: np.ndarray, y0: int, x0: int, height: int, width: int) -> float:
+    """Sum of the box with top-left (y0, x0) and the given extent.
+
+    Coordinates are clipped to the image, so partially out-of-bounds boxes
+    contribute only their visible part (SURF border behaviour).
+    """
+    max_y = ii.shape[0] - 1
+    max_x = ii.shape[1] - 1
+    y1 = min(max(y0 + height, 0), max_y)
+    x1 = min(max(x0 + width, 0), max_x)
+    y0 = min(max(y0, 0), max_y)
+    x0 = min(max(x0, 0), max_x)
+    return float(ii[y1, x1] - ii[y0, x1] - ii[y1, x0] + ii[y0, x0])
+
+
+def box_sum_map(ii: np.ndarray, dy: int, dx: int, height: int, width: int) -> np.ndarray:
+    """Box sums for *every* pixel at once.
+
+    For each pixel (y, x) of the original image, returns the sum of the box
+    whose top-left corner is (y + dy, x + dx).  Out-of-range boxes are
+    clipped.  This vectorized form is what makes the pure-numpy fast-Hessian
+    tractable.
+    """
+    image_h = ii.shape[0] - 1
+    image_w = ii.shape[1] - 1
+    ys = np.arange(image_h)
+    xs = np.arange(image_w)
+    y0 = np.clip(ys + dy, 0, image_h)
+    y1 = np.clip(ys + dy + height, 0, image_h)
+    x0 = np.clip(xs + dx, 0, image_w)
+    x1 = np.clip(xs + dx + width, 0, image_w)
+    return (
+        ii[np.ix_(y1, x1)]
+        - ii[np.ix_(y0, x1)]
+        - ii[np.ix_(y1, x0)]
+        + ii[np.ix_(y0, x0)]
+    )

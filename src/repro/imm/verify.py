@@ -1,0 +1,82 @@
+"""Geometric verification of descriptor matches (RANSAC, translation model).
+
+Descriptor matching alone admits outliers; production image-matching systems
+verify candidates geometrically before answering.  Our queries are
+perturbed/translated views of database scenes, so the motion model is a 2-D
+translation (plus a keypoint-scale consistency check): RANSAC samples one
+correspondence, hypothesizes the translation, and counts inliers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ImageError
+from repro.imm.hessian import Keypoint
+from repro.imm.matcher import DescriptorMatch
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """RANSAC outcome for one candidate image."""
+
+    inliers: int
+    total: int
+    translation: Tuple[float, float]  # (dy, dx) query -> database
+
+    @property
+    def inlier_ratio(self) -> float:
+        return self.inliers / self.total if self.total else 0.0
+
+
+def ransac_translation(
+    query_keypoints: Sequence[Keypoint],
+    database_keypoints: Sequence[Keypoint],
+    matches: Sequence[DescriptorMatch],
+    tolerance: float = 4.0,
+    scale_tolerance: float = 1.6,
+    iterations: int = 32,
+    seed: int = 0,
+) -> VerificationResult:
+    """Best translation hypothesis over the matches, with its inlier count.
+
+    ``matches`` index into the two keypoint sequences.  A match is an inlier
+    when its displacement agrees with the hypothesis within ``tolerance``
+    pixels and the keypoint scales agree within ``scale_tolerance``x.
+    """
+    if tolerance <= 0 or scale_tolerance < 1:
+        raise ImageError("tolerance must be > 0 and scale_tolerance >= 1")
+    if not matches:
+        return VerificationResult(0, 0, (0.0, 0.0))
+
+    displacements: List[Tuple[float, float, float]] = []
+    for match in matches:
+        query = query_keypoints[match.query_index]
+        database = database_keypoints[match.database_index]
+        scale_ratio = max(query.scale, database.scale) / max(
+            min(query.scale, database.scale), 1e-9
+        )
+        displacements.append(
+            (database.y - query.y, database.x - query.x, scale_ratio)
+        )
+
+    rng = random.Random(seed)
+    best_inliers = 0
+    best_translation = (0.0, 0.0)
+    samples = min(iterations, len(displacements))
+    candidate_indices = rng.sample(range(len(displacements)), samples)
+    for index in candidate_indices:
+        dy, dx, _ = displacements[index]
+        inliers = sum(
+            1
+            for (other_dy, other_dx, scale_ratio) in displacements
+            if abs(other_dy - dy) <= tolerance
+            and abs(other_dx - dx) <= tolerance
+            and scale_ratio <= scale_tolerance
+        )
+        if inliers > best_inliers:
+            best_inliers = inliers
+            best_translation = (dy, dx)
+    return VerificationResult(best_inliers, len(matches), best_translation)

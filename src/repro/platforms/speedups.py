@@ -1,0 +1,127 @@
+"""Kernel and service speedups (paper Table 5 / Figure 13).
+
+The per-kernel speedups are the paper's measured values — our calibration
+points.  Service-level speedups compose them through each service's
+component-time fractions (Figure 9's cycle breakdown), with Amdahl-style
+accounting for the parts no accelerator touches:
+
+    service_speedup = 1 / sum_c fraction_c / kernel_speedup_c
+
+Two paper-documented special cases are honored: the HMM search is assumed to
+accelerate 3.7x on any accelerator (their stated lower bound from the GPU
+literature [35]), and the RWTH DNN numbers for CMP/GPU/Phi already include
+the HMM ("This includes DNN and HMM combined"), so ASR-DNN composes only on
+FPGA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.platforms.spec import CMP, FPGA, GPU, PHI, PLATFORMS
+
+#: Table 5, exactly as published.  Rows: kernel; columns: platform.
+KERNEL_SPEEDUPS: Dict[str, Dict[str, float]] = {
+    "gmm":     {CMP: 3.5, GPU: 70.0,  PHI: 1.1,  FPGA: 169.0},
+    "dnn":     {CMP: 6.0, GPU: 54.7,  PHI: 11.2, FPGA: 110.5},
+    "stemmer": {CMP: 4.0, GPU: 6.2,   PHI: 5.6,  FPGA: 30.0},
+    "regex":   {CMP: 3.9, GPU: 48.0,  PHI: 1.1,  FPGA: 168.2},
+    "crf":     {CMP: 3.7, GPU: 3.8,   PHI: 4.7,  FPGA: 7.5},
+    "fe":      {CMP: 5.2, GPU: 10.5,  PHI: 2.5,  FPGA: 34.6},
+    "fd":      {CMP: 5.9, GPU: 120.5, PHI: 12.7, FPGA: 75.5},
+}
+
+#: "we assume a 3.7x speedup for the HMM [35] as a reasonable lower bound".
+HMM_SPEEDUP = 3.7
+
+#: Table 5 footnote: the DNN row already includes the HMM on these platforms.
+DNN_INCLUDES_HMM = (CMP, GPU, PHI)
+
+#: The four services of the Section 5 analysis.
+ASR_GMM = "ASR (GMM)"
+ASR_DNN = "ASR (DNN)"
+QA = "QA"
+IMM = "IMM"
+SERVICES: Tuple[str, ...] = (ASR_GMM, ASR_DNN, QA, IMM)
+
+#: Component-time fractions per service (Figure 9-style cycle breakdown).
+#: "hmm" is the un-kernelized search; QA fractions cover the NLP components
+#: that are 88% of QA cycles (search is excluded, as in Figure 14).
+DEFAULT_FRACTIONS: Dict[str, Dict[str, float]] = {
+    ASR_GMM: {"gmm": 0.80, "hmm": 0.20},
+    ASR_DNN: {"dnn": 0.80, "hmm": 0.20},
+    QA: {"stemmer": 0.30, "regex": 0.40, "crf": 0.30},
+    IMM: {"fe": 0.60, "fd": 0.40},
+}
+
+
+def kernel_speedup(kernel: str, platform: str) -> float:
+    """Table 5 lookup."""
+    try:
+        return KERNEL_SPEEDUPS[kernel][platform]
+    except KeyError:
+        raise KeyError(f"no speedup for kernel={kernel!r} platform={platform!r}") from None
+
+
+def _component_speedup(component: str, platform: str) -> float:
+    if component == "hmm":
+        return HMM_SPEEDUP
+    return kernel_speedup(component, platform)
+
+
+def service_speedup(
+    service: str,
+    platform: str,
+    fractions: Optional[Mapping[str, Mapping[str, float]]] = None,
+) -> float:
+    """End-to-end service speedup over the single-core baseline.
+
+    ``fractions`` overrides the component breakdown (e.g. with fractions
+    measured from :mod:`repro.analysis.breakdown`).
+    """
+    if platform not in PLATFORMS:
+        raise KeyError(f"unknown platform {platform!r}")
+    table = fractions if fractions is not None else DEFAULT_FRACTIONS
+    if service not in table:
+        raise KeyError(f"unknown service {service!r}")
+    parts = table[service]
+    total = sum(parts.values())
+    if not 0.99 <= total <= 1.01:
+        raise ConfigurationError(f"fractions for {service} sum to {total}, not 1")
+
+    # RWTH's DNN port parallelizes the whole framework on CMP/GPU/Phi.
+    if service == ASR_DNN and platform in DNN_INCLUDES_HMM:
+        return kernel_speedup("dnn", platform)
+
+    denominator = sum(
+        fraction / _component_speedup(component, platform)
+        for component, fraction in parts.items()
+    )
+    return 1.0 / denominator
+
+
+def service_speedup_table(
+    fractions: Optional[Mapping[str, Mapping[str, float]]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """service -> platform -> speedup, for all services and platforms."""
+    return {
+        service: {
+            platform: service_speedup(service, platform, fractions)
+            for platform in PLATFORMS
+        }
+        for service in SERVICES
+    }
+
+
+def heat_map_rows() -> List[Tuple[str, str, Dict[str, float]]]:
+    """(service, kernel, {platform: speedup}) rows in Table 5 order (Fig 13)."""
+    service_of = {
+        "gmm": "ASR", "dnn": "ASR",
+        "stemmer": "QA", "regex": "QA", "crf": "QA",
+        "fe": "IMM", "fd": "IMM",
+    }
+    return [
+        (service_of[kernel], kernel, dict(row))
+        for kernel, row in KERNEL_SPEEDUPS.items()
+    ]

@@ -1,0 +1,98 @@
+"""Component-level wall-time profiler (the VTune stand-in).
+
+Services wrap their algorithmic components in ``profiler.section(name)``;
+the recorded per-component times drive the cycle-breakdown analysis (Figure
+9) and the QA hot-component breakdown (Figure 8b).  Sections nest; time is
+attributed to the innermost open section only, so component times sum to
+(at most) total time without double counting.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Profile:
+    """Accumulated exclusive seconds per component name."""
+
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, elapsed: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fraction(self, name: str) -> float:
+        total = self.total
+        if total <= 0:
+            return 0.0
+        return self.seconds.get(name, 0.0) / total
+
+    def breakdown(self) -> Dict[str, float]:
+        """Component → fraction of total, descending."""
+        total = self.total
+        if total <= 0:
+            return {}
+        items = sorted(self.seconds.items(), key=lambda kv: -kv[1])
+        return {name: value / total for name, value in items}
+
+    def merge(self, other: "Profile") -> None:
+        for name, value in other.seconds.items():
+            self.add(name, value)
+
+
+class Profiler:
+    """Nestable section timer.
+
+    >>> profiler = Profiler()
+    >>> with profiler.section("outer"):
+    ...     with profiler.section("inner"):
+    ...         pass
+    >>> set(profiler.profile.seconds) == {"outer", "inner"}
+    True
+    """
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._stack: List[str] = []
+        self._entered_at: List[float] = []
+        self.profile = Profile()
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = self._clock()
+        # Charge the parent for time spent so far, then suspend it.
+        if self._stack:
+            self.profile.add(self._stack[-1], start - self._entered_at[-1])
+        self._stack.append(name)
+        self._entered_at.append(start)
+        try:
+            yield
+        finally:
+            end = self._clock()
+            self.profile.add(name, end - self._entered_at[-1])
+            self._stack.pop()
+            self._entered_at.pop()
+            # Resume the parent's clock.
+            if self._stack:
+                self._entered_at[-1] = end
+
+    def reset(self) -> Profile:
+        """Return the collected profile and start a fresh one."""
+        collected = self.profile
+        self.profile = Profile()
+        return collected
+
+
+class NullProfiler(Profiler):
+    """A profiler whose sections cost (almost) nothing and record nothing."""
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:  # noqa: ARG002
+        yield

@@ -1,0 +1,60 @@
+"""Question-Answering service (OpenEphyra replacement).
+
+Hot components per the paper (Figure 9): Porter stemming, regular-expression
+matching (:mod:`repro.regex`), and CRF part-of-speech tagging together
+account for ~85% of QA cycles.
+"""
+
+from repro.qa.engine import QAEngine, QAResult
+from repro.qa.evaluate import QAEvaluation, answer_matches, evaluate_qa
+from repro.qa.qclassify import NaiveBayesClassifier, train_default_classifier
+from repro.qa.extraction import Candidate, extract_candidates
+from repro.qa.filters import FilterPipeline, FilterStats
+from repro.qa.question import (
+    DATE,
+    GENERIC,
+    LOCATION,
+    NUMBER,
+    PERSON,
+    AnalyzedQuestion,
+    analyze,
+    classify_answer_type,
+    is_question,
+    search_query,
+)
+from repro.qa.scoring import ScoredAnswer, aggregate, best_answer
+from repro.qa.stemmer import PorterStemmer, stem, stem_words
+from repro.qa.tokenizer import remove_stopwords, sentences, tokenize
+
+__all__ = [
+    "AnalyzedQuestion",
+    "Candidate",
+    "DATE",
+    "FilterPipeline",
+    "FilterStats",
+    "GENERIC",
+    "LOCATION",
+    "NUMBER",
+    "NaiveBayesClassifier",
+    "PERSON",
+    "QAEvaluation",
+    "answer_matches",
+    "evaluate_qa",
+    "train_default_classifier",
+    "PorterStemmer",
+    "QAEngine",
+    "QAResult",
+    "ScoredAnswer",
+    "aggregate",
+    "analyze",
+    "best_answer",
+    "classify_answer_type",
+    "extract_candidates",
+    "is_question",
+    "remove_stopwords",
+    "search_query",
+    "sentences",
+    "stem",
+    "stem_words",
+    "tokenize",
+]

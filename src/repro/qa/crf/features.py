@@ -1,0 +1,112 @@
+"""Feature extraction for the linear-chain CRF.
+
+Each token position yields a list of string feature names; a
+:class:`FeatureMap` interns them to integer ids.  The templates mirror the
+classic CoNLL chunking feature set the paper's CRFsuite baseline uses: word
+identity, affixes, shape, and neighbouring words.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+class FeatureMap:
+    """Grows a string-feature → integer-id mapping during training.
+
+    After training, call :meth:`freeze` so unseen features at inference time
+    map to nothing rather than growing the table.
+    """
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self._frozen = False
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def intern(self, name: str) -> int:
+        """Return the id for ``name``; -1 if frozen and unseen."""
+        existing = self._ids.get(name)
+        if existing is not None:
+            return existing
+        if self._frozen:
+            return -1
+        new_id = len(self._ids)
+        self._ids[name] = new_id
+        return new_id
+
+    def freeze(self) -> None:
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+
+def _shape(token: str) -> str:
+    """Compressed word shape: 'Elected' -> 'Xx', '44th' -> 'dx'."""
+    shape_chars: List[str] = []
+    for char in token:
+        if char.isupper():
+            code = "X"
+        elif char.islower():
+            code = "x"
+        elif char.isdigit():
+            code = "d"
+        else:
+            code = "-"
+        if not shape_chars or shape_chars[-1] != code:
+            shape_chars.append(code)
+    return "".join(shape_chars)
+
+
+def token_features(tokens: Sequence[str], position: int) -> List[str]:
+    """Feature names active for ``tokens[position]``.
+
+    >>> token_features(["Who", "was", "elected"], 2)[:2]
+    ['w=elected', 'lower=elected']
+    """
+    token = tokens[position]
+    lower = token.lower()
+    features = [
+        f"w={token}",
+        f"lower={lower}",
+        f"shape={_shape(token)}",
+        f"pref1={lower[:1]}",
+        f"pref2={lower[:2]}",
+        f"pref3={lower[:3]}",
+        f"suf1={lower[-1:]}",
+        f"suf2={lower[-2:]}",
+        f"suf3={lower[-3:]}",
+    ]
+    if token.isdigit():
+        features.append("isdigit")
+    if any(char.isdigit() for char in token):
+        features.append("hasdigit")
+    if token[:1].isupper():
+        features.append("istitle")
+    if position == 0:
+        features.append("BOS")
+    else:
+        features.append(f"prev={tokens[position - 1].lower()}")
+    if position == len(tokens) - 1:
+        features.append("EOS")
+    else:
+        features.append(f"next={tokens[position + 1].lower()}")
+    return features
+
+
+def extract_ids(
+    tokens: Sequence[str], feature_map: FeatureMap
+) -> List[List[int]]:
+    """Feature-id lists for every position of a sentence."""
+    sentence_ids: List[List[int]] = []
+    for position in range(len(tokens)):
+        ids = [
+            interned
+            for name in token_features(tokens, position)
+            if (interned := feature_map.intern(name)) >= 0
+        ]
+        sentence_ids.append(ids)
+    return sentence_ids

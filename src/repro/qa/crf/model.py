@@ -1,0 +1,208 @@
+"""Linear-chain conditional random field (Lafferty et al., 2001).
+
+The model scores a tag sequence y for a sentence x as::
+
+    score(y|x) = sum_t [ W[features(x,t), y_t] + T[y_{t-1}, y_t] ]
+
+with conditional probability p(y|x) = exp(score) / Z(x).  Inference uses
+Viterbi; training maximizes conditional log-likelihood with gradients from
+the forward-backward algorithm.  This reproduces the inference math that the
+paper's CRF kernel benchmarks per sentence (Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.qa.crf.features import FeatureMap, extract_ids
+from repro.qa.crf.tagset import N_TAGS, TAGS
+
+
+def _logsumexp(values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log(sum(exp(values))) along ``axis``."""
+    peak = np.max(values, axis=axis, keepdims=True)
+    return (peak + np.log(np.sum(np.exp(values - peak), axis=axis, keepdims=True))).squeeze(axis)
+
+
+class LinearChainCRF:
+    """A trained (or trainable) linear-chain CRF over the fixed POS tagset."""
+
+    def __init__(self, feature_map: FeatureMap | None = None, n_tags: int = N_TAGS):
+        self.feature_map = feature_map if feature_map is not None else FeatureMap()
+        self.n_tags = n_tags
+        # Emission weights grow with the feature map; start empty.
+        self._emission = np.zeros((0, n_tags))
+        self.transition = np.zeros((n_tags, n_tags))
+        self.start = np.zeros(n_tags)
+        self.end = np.zeros(n_tags)
+
+    # -- parameter plumbing ---------------------------------------------------
+
+    def _ensure_capacity(self) -> None:
+        needed = len(self.feature_map)
+        if needed > self._emission.shape[0]:
+            extra = np.zeros((needed - self._emission.shape[0], self.n_tags))
+            self._emission = np.vstack([self._emission, extra])
+
+    @property
+    def emission(self) -> np.ndarray:
+        self._ensure_capacity()
+        return self._emission
+
+    @property
+    def n_parameters(self) -> int:
+        return self.emission.size + self.transition.size + self.start.size + self.end.size
+
+    # -- potentials -------------------------------------------------------------
+
+    def _emission_scores(self, feature_ids: List[List[int]]) -> np.ndarray:
+        """(T, n_tags) matrix of summed emission weights per position."""
+        weights = self.emission
+        scores = np.zeros((len(feature_ids), self.n_tags))
+        for position, ids in enumerate(feature_ids):
+            if ids:
+                scores[position] = weights[ids].sum(axis=0)
+        return scores
+
+    def sentence_potentials(self, tokens: Sequence[str]) -> np.ndarray:
+        """Emission score matrix for external inspection/benchmarks."""
+        return self._emission_scores(extract_ids(tokens, self.feature_map))
+
+    # -- inference ----------------------------------------------------------------
+
+    def decode(self, tokens: Sequence[str]) -> List[str]:
+        """Most likely tag sequence (Viterbi)."""
+        if not tokens:
+            return []
+        feature_ids = extract_ids(tokens, self.feature_map)
+        emissions = self._emission_scores(feature_ids)
+        length = len(tokens)
+
+        delta = np.empty((length, self.n_tags))
+        backpointer = np.zeros((length, self.n_tags), dtype=np.int64)
+        delta[0] = self.start + emissions[0]
+        for t in range(1, length):
+            # candidate[i, j] = delta[t-1, i] + transition[i, j]
+            candidate = delta[t - 1][:, None] + self.transition
+            backpointer[t] = np.argmax(candidate, axis=0)
+            delta[t] = candidate[backpointer[t], np.arange(self.n_tags)] + emissions[t]
+        delta[length - 1] += self.end
+
+        best_last = int(np.argmax(delta[length - 1]))
+        path = [best_last]
+        for t in range(length - 1, 0, -1):
+            path.append(int(backpointer[t][path[-1]]))
+        path.reverse()
+        return [TAGS[tag] for tag in path]
+
+    def forward_backward(
+        self, emissions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """Return (alpha, beta, logZ) in log space for one sentence."""
+        length = emissions.shape[0]
+        alpha = np.empty((length, self.n_tags))
+        beta = np.empty((length, self.n_tags))
+        alpha[0] = self.start + emissions[0]
+        for t in range(1, length):
+            alpha[t] = emissions[t] + _logsumexp(
+                alpha[t - 1][:, None] + self.transition, axis=0
+            )
+        beta[length - 1] = self.end
+        for t in range(length - 2, -1, -1):
+            beta[t] = _logsumexp(
+                self.transition + (emissions[t + 1] + beta[t + 1])[None, :], axis=1
+            )
+        log_z = float(_logsumexp(alpha[length - 1] + self.end, axis=0))
+        return alpha, beta, log_z
+
+    def marginals(self, tokens: Sequence[str]) -> np.ndarray:
+        """(T, n_tags) posterior tag marginals p(y_t = k | x)."""
+        if not tokens:
+            return np.zeros((0, self.n_tags))
+        emissions = self._emission_scores(extract_ids(tokens, self.feature_map))
+        alpha, beta, log_z = self.forward_backward(emissions)
+        return np.exp(alpha + beta - log_z)
+
+    def log_likelihood(self, tokens: Sequence[str], tags: Sequence[int]) -> float:
+        """Conditional log-likelihood of a gold tag-id sequence."""
+        if len(tokens) != len(tags):
+            raise ModelError("tokens and tags must have equal length")
+        if not tokens:
+            return 0.0
+        feature_ids = extract_ids(tokens, self.feature_map)
+        emissions = self._emission_scores(feature_ids)
+        _, _, log_z = self.forward_backward(emissions)
+        score = self.start[tags[0]] + emissions[0, tags[0]]
+        for t in range(1, len(tags)):
+            score += self.transition[tags[t - 1], tags[t]] + emissions[t, tags[t]]
+        score += self.end[tags[-1]]
+        return float(score - log_z)
+
+    # -- training-time gradients ------------------------------------------------
+
+    def gradient_step(
+        self,
+        tokens: Sequence[str],
+        tags: Sequence[int],
+        learning_rate: float,
+        l2: float = 0.0,
+    ) -> float:
+        """One stochastic gradient ascent step on the conditional likelihood.
+
+        Returns the sentence log-likelihood *before* the update.  Sparse
+        emission updates touch only the features active in this sentence.
+        """
+        if not tokens:
+            return 0.0
+        feature_ids = extract_ids(tokens, self.feature_map)
+        weights = self.emission  # triggers capacity growth
+        emissions = self._emission_scores(feature_ids)
+        alpha, beta, log_z = self.forward_backward(emissions)
+        length = len(tokens)
+
+        # Node marginals q[t, k] = p(y_t = k | x).
+        node_marginal = np.exp(alpha + beta - log_z)
+
+        # Observed score (for the return value).
+        score = self.start[tags[0]] + emissions[0, tags[0]]
+        for t in range(1, length):
+            score += self.transition[tags[t - 1], tags[t]] + emissions[t, tags[t]]
+        score += self.end[tags[-1]]
+        log_likelihood = float(score - log_z)
+
+        # Emission gradient: observed - expected per active feature.
+        for t, ids in enumerate(feature_ids):
+            if not ids:
+                continue
+            grad = -node_marginal[t]
+            grad[tags[t]] += 1.0
+            weights[ids] += learning_rate * (grad - l2 * weights[ids].mean(axis=0))
+
+        # Transition gradient via edge marginals.
+        if length > 1:
+            expected_transitions = np.zeros_like(self.transition)
+            for t in range(1, length):
+                edge = (
+                    alpha[t - 1][:, None]
+                    + self.transition
+                    + (emissions[t] + beta[t])[None, :]
+                )
+                expected_transitions += np.exp(edge - log_z)
+            observed_transitions = np.zeros_like(self.transition)
+            for t in range(1, length):
+                observed_transitions[tags[t - 1], tags[t]] += 1.0
+            self.transition += learning_rate * (
+                observed_transitions - expected_transitions - l2 * self.transition
+            )
+
+        # Start/end gradients.
+        start_grad = -node_marginal[0]
+        start_grad[tags[0]] += 1.0
+        self.start += learning_rate * start_grad
+        end_grad = -node_marginal[-1]
+        end_grad[tags[-1]] += 1.0
+        self.end += learning_rate * end_grad
+        return log_likelihood

@@ -1,0 +1,152 @@
+"""Learned answer-type classification (multinomial naive Bayes).
+
+The rule-based classifier in :mod:`repro.qa.question` mirrors OpenEphyra's
+pattern approach; production systems learn the mapping instead.  This
+module provides a small naive-Bayes text classifier, a template generator
+for labeled training questions, and a trained drop-in alternative — the
+rules-vs-learned comparison is an ablation on QA's front stage.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter, defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.qa.question import DATE, GENERIC, LOCATION, NUMBER, PERSON
+from repro.qa.tokenizer import tokenize
+
+ANSWER_TYPES = (PERSON, LOCATION, NUMBER, DATE, GENERIC)
+
+
+class NaiveBayesClassifier:
+    """Multinomial naive Bayes with add-one smoothing over token features."""
+
+    def __init__(self):
+        self._class_counts: Counter = Counter()
+        self._token_counts: Dict[str, Counter] = defaultdict(Counter)
+        self._vocabulary: set = set()
+        self._trained = False
+
+    @staticmethod
+    def features(text: str) -> List[str]:
+        tokens = tokenize(text)
+        feats = list(tokens)
+        # The first two tokens carry most of the interrogative signal.
+        if tokens:
+            feats.append(f"first={tokens[0]}")
+        if len(tokens) > 1:
+            feats.append(f"bigram={tokens[0]}_{tokens[1]}")
+        return feats
+
+    def train(self, examples: Sequence[Tuple[str, str]]) -> None:
+        if not examples:
+            raise ModelError("need at least one training example")
+        for text, label in examples:
+            self._class_counts[label] += 1
+            for feature in self.features(text):
+                self._token_counts[label][feature] += 1
+                self._vocabulary.add(feature)
+        self._trained = True
+
+    def log_posteriors(self, text: str) -> Dict[str, float]:
+        if not self._trained:
+            raise ModelError("classifier is untrained")
+        total = sum(self._class_counts.values())
+        vocab_size = len(self._vocabulary) or 1
+        feats = self.features(text)
+        posteriors: Dict[str, float] = {}
+        for label, count in self._class_counts.items():
+            score = math.log(count / total)
+            token_total = sum(self._token_counts[label].values())
+            for feature in feats:
+                numerator = self._token_counts[label].get(feature, 0) + 1
+                score += math.log(numerator / (token_total + vocab_size))
+            posteriors[label] = score
+        return posteriors
+
+    def predict(self, text: str) -> str:
+        posteriors = self.log_posteriors(text)
+        return max(posteriors, key=posteriors.get)
+
+
+# -- training-data generation -------------------------------------------------
+
+_TEMPLATES: Dict[str, List[str]] = {
+    PERSON: [
+        "who was the {adj} {role} of {place}",
+        "who invented the {thing}",
+        "who wrote {work}",
+        "who is the {role} of {work}",
+        "who discovered {thing}",
+        "who founded {org}",
+        "who painted {work}",
+    ],
+    LOCATION: [
+        "where is {place}",
+        "what is the capital of {place}",
+        "which city hosts the {event}",
+        "where does the {thing} live",
+        "what country borders {place}",
+        "which river flows through {place}",
+    ],
+    NUMBER: [
+        "how many {thing}s are in {place}",
+        "how tall is {place}",
+        "how much does the {thing} cost",
+        "how long is the {thing}",
+        "how far is {place}",
+        "how old is the {role}",
+    ],
+    DATE: [
+        "when did the {event} happen",
+        "when was {work} published",
+        "what year did {place} join",
+        "when does the {event} start",
+        "when was the {thing} invented",
+    ],
+    GENERIC: [
+        "what is {thing}",
+        "what does the {org} do",
+        "why did the {event} matter",
+        "what is the {thing} made of",
+        "what causes {thing}",
+    ],
+}
+
+_FILLERS = {
+    "adj": ["first", "current", "famous", "youngest"],
+    "role": ["president", "author", "founder", "painter", "mayor"],
+    "place": ["italy", "cuba", "vegas", "japan", "the mountain", "brazil"],
+    "thing": ["telephone", "river", "engine", "penicillin", "bridge", "rocket"],
+    "work": ["harry potter", "the report", "the mona lisa", "the anthem"],
+    "org": ["museum", "senate", "company", "festival"],
+    "event": ["election", "moon landing", "treaty", "games"],
+}
+
+
+def generate_labeled_questions(
+    per_type: int = 60, seed: int = 17
+) -> List[Tuple[str, str]]:
+    """Deterministic labeled question set from templates."""
+    rng = random.Random(seed)
+    examples: List[Tuple[str, str]] = []
+    for label, templates in _TEMPLATES.items():
+        for _ in range(per_type):
+            template = rng.choice(templates)
+            filled = template
+            for slot, values in _FILLERS.items():
+                while "{" + slot + "}" in filled:
+                    filled = filled.replace("{" + slot + "}", rng.choice(values), 1)
+            examples.append((filled, label))
+    rng.shuffle(examples)
+    return examples
+
+
+def train_default_classifier() -> NaiveBayesClassifier:
+    """A classifier trained on the generated template corpus."""
+    classifier = NaiveBayesClassifier()
+    classifier.train(generate_labeled_questions())
+    return classifier

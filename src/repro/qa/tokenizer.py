@@ -1,0 +1,96 @@
+"""Tokenization utilities shared by the QA service and the search substrate."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: Words carrying no retrieval signal, dropped when building search queries.
+STOPWORDS = frozenset(
+    """a an and are as at be by for from has have he her his in is it its of on
+    or she that the their this to was were will with what where who when why
+    how which does do did done""".split()
+)
+
+_PUNCTUATION = set(".,;:!?\"'()[]{}<>")
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into lowercase word tokens, stripping punctuation.
+
+    Hyphens and apostrophes inside words are kept (``o'clock``, ``forty-four``)
+    so entity-ish tokens survive; everything else non-alphanumeric separates
+    tokens.
+
+    >>> tokenize("Who was elected 44th president?")
+    ['who', 'was', 'elected', '44th', 'president']
+    """
+    tokens: List[str] = []
+    current: List[str] = []
+    for char in text:
+        if char.isalnum() or (char in "'-" and current):
+            current.append(char.lower())
+        else:
+            if current:
+                tokens.append("".join(current).strip("'-"))
+                current = []
+    if current:
+        tokens.append("".join(current).strip("'-"))
+    return [token for token in tokens if token]
+
+
+def tokenize_keep_case(text: str) -> List[str]:
+    """Like :func:`tokenize` but preserving case (needed for NER-ish features)."""
+    tokens: List[str] = []
+    current: List[str] = []
+    for char in text:
+        if char.isalnum() or (char in "'-" and current):
+            current.append(char)
+        else:
+            if current:
+                tokens.append("".join(current).strip("'-"))
+                current = []
+    if current:
+        tokens.append("".join(current).strip("'-"))
+    return [token for token in tokens if token]
+
+
+def sentences(text: str) -> List[str]:
+    """Naive sentence splitter on ``.!?`` followed by whitespace.
+
+    A period directly after a single capital letter ("J.K. Rowling",
+    "U.S. senate") is treated as an abbreviation, not a terminator.
+    """
+    result: List[str] = []
+    current: List[str] = []
+    chars = list(text)
+    for index, char in enumerate(chars):
+        current.append(char)
+        if char in ".!?" and (index + 1 == len(chars) or chars[index + 1].isspace()):
+            is_initialism = (
+                char == "."
+                and index >= 1
+                and chars[index - 1].isupper()
+                and (index < 2 or not chars[index - 2].isalpha())
+            )
+            if is_initialism:
+                continue
+            sentence = "".join(current).strip()
+            if sentence:
+                result.append(sentence)
+            current = []
+    tail = "".join(current).strip()
+    if tail:
+        result.append(tail)
+    return result
+
+
+def remove_stopwords(tokens: List[str]) -> List[str]:
+    """Drop stopwords; used when forming web-search queries from questions."""
+    return [token for token in tokens if token not in STOPWORDS]
+
+
+def ngrams(tokens: List[str], n: int) -> List[Tuple[str, ...]]:
+    """All contiguous n-grams of ``tokens`` (answer-candidate generation)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]

@@ -1,0 +1,151 @@
+"""Lazy DFA execution for the regex substrate (RE2-style subset construction).
+
+The NFA simulation (:mod:`repro.regex.engine`) recomputes state sets per
+character; for repeated matching over large inputs (the QA document filters
+scan every sentence with every pattern) a DFA memoizes those sets, giving
+amortized O(1) work per character.
+
+Zero-width assertions (``^``, ``$``, ``\\b``, ``\\B``) are position-context
+dependent, so the machine's transition key includes the context: whether the
+scan is at the start and whether the previous character was a word
+character.  The look-ahead side of a boundary is resolved at transition time,
+when the next character is known — the same trick production lazy-DFA
+engines use.
+
+Scope: :class:`DfaPattern` accelerates the boolean containment test — the
+dominant regex operation in the Sirius QA filters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.regex.engine import Pattern, _is_word_char
+from repro.regex.nfa import (
+    ANCHOR_END,
+    ANCHOR_NONWORD,
+    ANCHOR_START,
+    ANCHOR_WORD,
+    EPSILON,
+    State,
+)
+
+
+class DfaPattern:
+    """A pattern compiled for fast repeated containment tests.
+
+    >>> DfaPattern(r"\\b(19|20)\\d\\d\\b").test("founded in 1969, rebuilt later")
+    True
+    """
+
+    def __init__(self, pattern: str):
+        self._pattern = Pattern(pattern)
+        self._nfa = self._pattern._nfa
+        self._set_ids: Dict[FrozenSet[State], int] = {}
+        self._sets: List[FrozenSet[State]] = []
+        # (set_id, at_start, prev_word, char) -> (next_set_id, accepted)
+        self._transitions: Dict[Tuple[int, bool, bool, str], Tuple[int, bool]] = {}
+        # (set_id, at_start, prev_word) -> accepted at end of input
+        self._end_accepts: Dict[Tuple[int, bool, bool], bool] = {}
+        self._initial_id = self._intern(frozenset({self._nfa.start}))
+
+    @property
+    def pattern(self) -> str:
+        return self._pattern.pattern
+
+    @property
+    def dfa_size(self) -> int:
+        """Distinct raw state sets materialized so far (grows lazily)."""
+        return len(self._sets)
+
+    # -- internals --------------------------------------------------------------
+
+    def _intern(self, state_set: FrozenSet[State]) -> int:
+        existing = self._set_ids.get(state_set)
+        if existing is not None:
+            return existing
+        new_id = len(self._sets)
+        self._set_ids[state_set] = new_id
+        self._sets.append(state_set)
+        return new_id
+
+    def _closure(
+        self,
+        states: Set[State],
+        at_start: bool,
+        at_boundary: bool,
+        at_end: bool,
+    ) -> Set[State]:
+        stack = list(states)
+        closed = set(states)
+        while stack:
+            state = stack.pop()
+            for transition in state.transitions:
+                passable = (
+                    transition.kind == EPSILON
+                    or (transition.kind == ANCHOR_START and at_start)
+                    or (transition.kind == ANCHOR_END and at_end)
+                    or (transition.kind == ANCHOR_WORD and at_boundary)
+                    or (transition.kind == ANCHOR_NONWORD and not at_boundary)
+                )
+                if passable and transition.target is not None and transition.target not in closed:
+                    closed.add(transition.target)
+                    stack.append(transition.target)
+        return closed
+
+    def _step(
+        self, set_id: int, at_start: bool, prev_word: bool, char: str
+    ) -> Tuple[int, bool]:
+        key = (set_id, at_start, prev_word, char)
+        cached = self._transitions.get(key)
+        if cached is not None:
+            return cached
+        char_is_word = _is_word_char(char)
+        boundary = prev_word != char_is_word
+        # Containment semantics: a new match may start at this position too.
+        raw = set(self._sets[set_id])
+        raw.add(self._nfa.start)
+        closed = self._closure(raw, at_start, boundary, at_end=False)
+        accepted = any(state.accepting for state in closed)
+        moved: Set[State] = set()
+        for state in closed:
+            for transition in state.transitions:
+                if transition.consumes() and transition.matches(char):
+                    moved.add(transition.target)
+        result = (self._intern(frozenset(moved)), accepted)
+        self._transitions[key] = result
+        return result
+
+    def _accepts_at_end(self, set_id: int, at_start: bool, prev_word: bool) -> bool:
+        key = (set_id, at_start, prev_word)
+        cached = self._end_accepts.get(key)
+        if cached is not None:
+            return cached
+        raw = set(self._sets[set_id])
+        raw.add(self._nfa.start)
+        closed = self._closure(raw, at_start, at_boundary=prev_word, at_end=True)
+        accepted = any(state.accepting for state in closed)
+        self._end_accepts[key] = accepted
+        return accepted
+
+    # -- public API ---------------------------------------------------------------
+
+    def test(self, text: str) -> bool:
+        """True if the pattern matches anywhere in ``text``."""
+        set_id = self._initial_id
+        at_start = True
+        prev_word = False
+        for char in text:
+            set_id, accepted = self._step(set_id, at_start, prev_word, char)
+            if accepted:
+                return True
+            at_start = False
+            prev_word = _is_word_char(char)
+        return self._accepts_at_end(set_id, at_start, prev_word)
+
+    def count_matching(self, texts) -> int:
+        """How many of ``texts`` contain a match (QA filter inner loop)."""
+        return sum(1 for text in texts if self.test(text))
+
+    def __repr__(self) -> str:
+        return f"DfaPattern({self.pattern!r}, states={self.dfa_size})"

@@ -1,0 +1,180 @@
+"""NFA simulation engine with a ``re``-like convenience API.
+
+Semantics are leftmost-longest: :meth:`Pattern.search` returns the match that
+starts earliest and, among those, extends furthest.  The simulation advances a
+set of NFA states per input character, so runtime is O(states * len(text)) per
+start position with no backtracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set
+
+from repro.regex.nfa import (
+    ANCHOR_END,
+    ANCHOR_NONWORD,
+    ANCHOR_START,
+    ANCHOR_WORD,
+    EPSILON,
+    NFA,
+    State,
+    compile_nfa,
+)
+from repro.regex.parser import parse
+
+
+def _is_word_char(char: str) -> bool:
+    return char.isalnum() or char == "_"
+
+
+def _at_word_boundary(text: str, pos: int) -> bool:
+    before = pos > 0 and _is_word_char(text[pos - 1])
+    after = pos < len(text) and _is_word_char(text[pos])
+    return before != after
+
+
+@dataclass(frozen=True)
+class Match:
+    """A successful match: the span [start, end) and the matched text."""
+
+    start: int
+    end: int
+    text: str
+
+    def group(self) -> str:
+        return self.text[self.start : self.end]
+
+    def span(self) -> tuple:
+        return (self.start, self.end)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+class Pattern:
+    """A compiled regular expression.
+
+    >>> Pattern(r"w(ha|he)[rnt]e?").search("somewhere").group()
+    'where'
+    """
+
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self._nfa: NFA = compile_nfa(parse(pattern))
+
+    @property
+    def state_count(self) -> int:
+        """Number of NFA states (proportional to pattern length)."""
+        return self._nfa.size
+
+    # -- core simulation ------------------------------------------------------
+
+    def _closure(self, states: Set[State], pos: int, text: str) -> Set[State]:
+        """Epsilon-closure of ``states``, honouring anchors at position ``pos``."""
+        stack = list(states)
+        closed = set(states)
+        while stack:
+            state = stack.pop()
+            for transition in state.transitions:
+                passable = (
+                    transition.kind == EPSILON
+                    or (transition.kind == ANCHOR_START and pos == 0)
+                    or (transition.kind == ANCHOR_END and pos == len(text))
+                    or (transition.kind == ANCHOR_WORD and _at_word_boundary(text, pos))
+                    or (transition.kind == ANCHOR_NONWORD and not _at_word_boundary(text, pos))
+                )
+                if passable and transition.target is not None and transition.target not in closed:
+                    closed.add(transition.target)
+                    stack.append(transition.target)
+        return closed
+
+    def _match_end(self, text: str, start: int) -> Optional[int]:
+        """Longest match end for a match beginning exactly at ``start``."""
+        length = len(text)
+        current = self._closure({self._nfa.start}, start, text)
+        best: Optional[int] = None
+        pos = start
+        while True:
+            if any(state.accepting for state in current):
+                best = pos
+            if pos >= length or not current:
+                break
+            char = text[pos]
+            advanced: Set[State] = set()
+            for state in current:
+                for transition in state.transitions:
+                    if transition.consumes() and transition.matches(char):
+                        advanced.add(transition.target)
+            pos += 1
+            if not advanced:
+                break
+            current = self._closure(advanced, pos, text)
+        return best
+
+    # -- public API -----------------------------------------------------------
+
+    def match(self, text: str, pos: int = 0) -> Optional[Match]:
+        """Match anchored at ``pos``; returns the longest such match or None."""
+        end = self._match_end(text, pos)
+        if end is None:
+            return None
+        return Match(pos, end, text)
+
+    def fullmatch(self, text: str) -> Optional[Match]:
+        """Match that must consume the entire text."""
+        end = self._match_end(text, 0)
+        if end == len(text):
+            return Match(0, end, text)
+        # The greedy scan above returns the longest match; if a shorter full
+        # match exists it would also have been reachable, so longest == full
+        # whenever any full match exists.  A longest match shorter than the
+        # text means no full match.
+        return None
+
+    def search(self, text: str, pos: int = 0) -> Optional[Match]:
+        """Leftmost-longest match anywhere at or after ``pos``."""
+        for start in range(pos, len(text) + 1):
+            end = self._match_end(text, start)
+            if end is not None:
+                return Match(start, end, text)
+        return None
+
+    def finditer(self, text: str) -> Iterator[Match]:
+        """Non-overlapping leftmost-longest matches, left to right."""
+        pos = 0
+        length = len(text)
+        while pos <= length:
+            match = self.search(text, pos)
+            if match is None:
+                return
+            yield match
+            # Empty matches must still advance the scan position.
+            pos = match.end if match.end > match.start else match.start + 1
+
+    def findall(self, text: str) -> List[str]:
+        return [match.group() for match in self.finditer(text)]
+
+    def test(self, text: str) -> bool:
+        """True if the pattern matches anywhere in ``text``."""
+        return self.search(text) is not None
+
+    def count(self, text: str) -> int:
+        """Number of non-overlapping matches in ``text``."""
+        return sum(1 for _ in self.finditer(text))
+
+    def __repr__(self) -> str:
+        return f"Pattern({self.pattern!r})"
+
+
+def compile(pattern: str) -> Pattern:  # noqa: A001 - mirrors ``re.compile``
+    """Compile ``pattern`` into a reusable :class:`Pattern`."""
+    return Pattern(pattern)
+
+
+def search(pattern: str, text: str) -> Optional[Match]:
+    return Pattern(pattern).search(text)
+
+
+def findall(pattern: str, text: str) -> List[str]:
+    return Pattern(pattern).findall(text)

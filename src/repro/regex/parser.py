@@ -1,0 +1,261 @@
+"""Recursive-descent parser producing :mod:`repro.regex.ast` trees.
+
+Grammar (roughly PCRE-lite, matching what the Sirius QA filters need)::
+
+    alternation := concat ('|' concat)*
+    concat      := repeat*
+    repeat      := atom quantifier?
+    quantifier  := '*' | '+' | '?' | '{' m (',' n?)? '}'
+    atom        := literal | '.' | escape | class | anchor | '(' alternation ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import RegexSyntaxError
+from repro.regex.ast import (
+    Alternate,
+    AnyChar,
+    Anchor,
+    CharClass,
+    Concat,
+    DIGIT_RANGES,
+    Group,
+    Literal,
+    Node,
+    Repeat,
+    SPACE_RANGES,
+    WORD_RANGES,
+)
+
+_METACHARS = set("\\^$.[]()*+?{}|")
+
+_ESCAPE_CLASSES = {
+    "d": (DIGIT_RANGES, False),
+    "D": (DIGIT_RANGES, True),
+    "w": (WORD_RANGES, False),
+    "W": (WORD_RANGES, True),
+    "s": (SPACE_RANGES, False),
+    "S": (SPACE_RANGES, True),
+}
+
+_ESCAPE_LITERALS = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+}
+
+
+class _Parser:
+    """Single-use parser over one pattern string."""
+
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.pos = 0
+        self.group_count = 0
+
+    # -- character stream helpers -------------------------------------------------
+
+    def _peek(self) -> Optional[str]:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def _next(self) -> str:
+        char = self._peek()
+        if char is None:
+            raise RegexSyntaxError("unexpected end of pattern", self.pattern, self.pos)
+        self.pos += 1
+        return char
+
+    def _expect(self, char: str) -> None:
+        if self._peek() != char:
+            raise RegexSyntaxError(f"expected {char!r}", self.pattern, self.pos)
+        self.pos += 1
+
+    def _error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(message, self.pattern, self.pos)
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse(self) -> Node:
+        node = self._alternation()
+        if self.pos != len(self.pattern):
+            raise self._error("unbalanced ')'")
+        return node
+
+    def _alternation(self) -> Node:
+        options = [self._concat()]
+        while self._peek() == "|":
+            self.pos += 1
+            options.append(self._concat())
+        if len(options) == 1:
+            return options[0]
+        return Alternate(tuple(options))
+
+    def _concat(self) -> Node:
+        parts: List[Node] = []
+        while True:
+            char = self._peek()
+            if char is None or char in "|)":
+                break
+            parts.append(self._repeat())
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def _repeat(self) -> Node:
+        atom = self._atom()
+        char = self._peek()
+        if char == "*":
+            self.pos += 1
+            return self._quantified(atom, 0, None)
+        if char == "+":
+            self.pos += 1
+            return self._quantified(atom, 1, None)
+        if char == "?":
+            self.pos += 1
+            return self._quantified(atom, 0, 1)
+        if char == "{":
+            bounds = self._try_brace_quantifier()
+            if bounds is not None:
+                return self._quantified(atom, bounds[0], bounds[1])
+        return atom
+
+    def _quantified(self, atom: Node, lo: int, hi: Optional[int]) -> Node:
+        if isinstance(atom, Anchor):
+            raise self._error("quantifier not allowed after anchor")
+        if self._peek() in ("*", "+"):
+            raise self._error("nested quantifier")
+        return Repeat(atom, lo, hi)
+
+    def _try_brace_quantifier(self) -> Optional[Tuple[int, Optional[int]]]:
+        """Parse ``{m}``, ``{m,}``, ``{m,n}``; return None for a literal ``{``."""
+        start = self.pos
+        self.pos += 1  # consume '{'
+        digits = self._take_digits()
+        if not digits:
+            self.pos = start
+            return None
+        lo = int(digits)
+        char = self._peek()
+        if char == "}":
+            self.pos += 1
+            return lo, lo
+        if char != ",":
+            self.pos = start
+            return None
+        self.pos += 1
+        digits = self._take_digits()
+        if self._peek() != "}":
+            self.pos = start
+            return None
+        self.pos += 1
+        hi = int(digits) if digits else None
+        if hi is not None and hi < lo:
+            raise RegexSyntaxError("bad repeat interval", self.pattern, start)
+        return lo, hi
+
+    def _take_digits(self) -> str:
+        digits = []
+        while self._peek() is not None and self._peek().isdigit():
+            digits.append(self._next())
+        return "".join(digits)
+
+    def _atom(self) -> Node:
+        char = self._next()
+        if char == "(":
+            self.group_count += 1
+            index = self.group_count
+            node = self._alternation()
+            self._expect(")")
+            return Group(node, index)
+        if char == "[":
+            return self._char_class()
+        if char == ".":
+            return AnyChar()
+        if char == "^":
+            return Anchor("start")
+        if char == "$":
+            return Anchor("end")
+        if char == "\\":
+            return self._escape()
+        if char in "*+?":
+            raise self._error("quantifier with nothing to repeat")
+        return Literal(char)
+
+    def _escape(self) -> Node:
+        char = self._next()
+        if char in _ESCAPE_CLASSES:
+            ranges, negated = _ESCAPE_CLASSES[char]
+            return CharClass(ranges, negated)
+        if char == "b":
+            return Anchor("word")
+        if char == "B":
+            return Anchor("nonword")
+        if char in _ESCAPE_LITERALS:
+            return Literal(_ESCAPE_LITERALS[char])
+        if char in _METACHARS or not char.isalnum():
+            return Literal(char)
+        raise self._error(f"unknown escape \\{char}")
+
+    def _char_class(self) -> Node:
+        negated = False
+        if self._peek() == "^":
+            self.pos += 1
+            negated = True
+        ranges: List[Tuple[int, int]] = []
+        first = True
+        while True:
+            char = self._peek()
+            if char is None:
+                raise self._error("unterminated character class")
+            if char == "]" and not first:
+                self.pos += 1
+                break
+            first = False
+            lo = self._class_char(ranges)
+            if lo is None:
+                continue
+            if self._peek() == "-" and self.pos + 1 < len(self.pattern) and self.pattern[self.pos + 1] != "]":
+                self.pos += 1
+                hi = self._class_char(ranges)
+                if hi is None:
+                    raise self._error("bad character range")
+                if hi < lo:
+                    raise self._error("reversed character range")
+                ranges.append((lo, hi))
+            else:
+                ranges.append((lo, lo))
+        if not ranges:
+            raise self._error("empty character class")
+        return CharClass(tuple(ranges), negated)
+
+    def _class_char(self, ranges: List[Tuple[int, int]]) -> Optional[int]:
+        """Return the codepoint of the next class member.
+
+        Escape classes (``\\d`` etc.) are appended to ``ranges`` directly and
+        None is returned, since they cannot form one end of a range.
+        """
+        char = self._next()
+        if char != "\\":
+            return ord(char)
+        escape = self._next()
+        if escape in _ESCAPE_CLASSES:
+            class_ranges, negated = _ESCAPE_CLASSES[escape]
+            if negated:
+                raise self._error("negated escape not supported inside class")
+            ranges.extend(class_ranges)
+            return None
+        if escape in _ESCAPE_LITERALS:
+            return ord(_ESCAPE_LITERALS[escape])
+        return ord(escape)
+
+
+def parse(pattern: str) -> Node:
+    """Parse ``pattern`` into an AST, raising :class:`RegexSyntaxError` on error."""
+    return _Parser(pattern).parse()

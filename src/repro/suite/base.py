@@ -1,0 +1,116 @@
+"""Sirius Suite kernel abstraction (paper Table 4).
+
+Each kernel packages: a representative input-set builder (``prepare``), the
+single-threaded baseline (``run``), and a data-parallel port
+(``run_parallel``) that divides the input at the granularity listed in
+Table 4 — the same structure as the paper's pthread ports.  ``run`` returns
+a checksum so ports can be verified against the baseline.
+
+Note on parallel speedup: the pthread-analog ports use a thread pool.  numpy
+kernels (GMM, DNN, FE, FD) release the GIL inside vectorized sections and can
+scale; pure-Python kernels (Stemmer, Regex, CRF) mirror the port *structure*
+but are GIL-bound — accelerator speedups for Table 5 come from the calibrated
+platform model (:mod:`repro.platforms`), not from these ports.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """Outcome of executing a kernel once."""
+
+    kernel: str
+    seconds: float
+    items: int
+    checksum: float
+    workers: int = 1
+
+    @property
+    def items_per_second(self) -> float:
+        return self.items / self.seconds if self.seconds > 0 else float("inf")
+
+
+class Kernel(abc.ABC):
+    """One Sirius Suite benchmark."""
+
+    #: Kernel short name, e.g. "gmm".
+    name: str = ""
+    #: Owning service: "ASR", "QA", or "IMM".
+    service: str = ""
+    #: Table 4 "data granularity" description.
+    granularity: str = ""
+
+    @abc.abstractmethod
+    def prepare(self, scale: float = 1.0) -> Any:
+        """Build the kernel's input set; ``scale`` shrinks/grows it."""
+
+    @abc.abstractmethod
+    def run(self, inputs: Any) -> float:
+        """Single-threaded baseline; returns a checksum."""
+
+    @abc.abstractmethod
+    def run_parallel(self, inputs: Any, workers: int) -> float:
+        """Data-parallel port; must produce the same checksum as ``run``."""
+
+    @abc.abstractmethod
+    def count_items(self, inputs: Any) -> int:
+        """How many granularity units the input contains."""
+
+    @abc.abstractmethod
+    def subset(self, inputs: Any, chunk: range) -> Any:
+        """The sub-input covering work items ``chunk`` (for process ports)."""
+
+    def run_parallel_processes(self, inputs: Any, workers: int) -> float:
+        """Data-parallel port on OS processes (true multicore, no GIL).
+
+        This is the faithful pthread analogue for the pure-Python kernels:
+        the input splits into contiguous chunks (via :meth:`subset`), each
+        chunk runs ``run`` in a forked worker, and partial checksums sum at
+        the end — one synchronization, as in the paper's ports.
+        """
+        from repro.suite.parallel import chunk_ranges, run_chunks_in_processes
+
+        ranges = chunk_ranges(self.count_items(inputs), workers)
+        if len(ranges) <= 1:
+            return self.run(inputs)
+        chunks = [self.subset(inputs, chunk) for chunk in ranges]
+        return run_chunks_in_processes(self, chunks)
+
+    def execute(
+        self,
+        scale: float = 1.0,
+        workers: int = 1,
+        inputs: Optional[Any] = None,
+        use_processes: bool = False,
+    ) -> KernelRun:
+        """Prepare (unless given), run, and time the kernel."""
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if inputs is None:
+            inputs = self.prepare(scale)
+        start = time.perf_counter()
+        if workers == 1:
+            checksum = self.run(inputs)
+        elif use_processes:
+            checksum = self.run_parallel_processes(inputs, workers)
+        else:
+            checksum = self.run_parallel(inputs, workers)
+        elapsed = time.perf_counter() - start
+        return KernelRun(
+            kernel=self.name,
+            seconds=elapsed,
+            items=self.count_items(inputs),
+            checksum=float(checksum),
+            workers=workers,
+        )
+
+    def __repr__(self) -> str:
+        return f"<Kernel {self.name} ({self.service})>"

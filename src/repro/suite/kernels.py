@@ -1,0 +1,376 @@
+"""The seven Sirius Suite kernels (paper Table 4).
+
+| Service | Kernel   | Baseline source            | Granularity               |
+|---------|----------|----------------------------|---------------------------|
+| ASR     | gmm      | repro.asr.gmm              | per HMM state             |
+| ASR     | dnn      | repro.asr.dnn              | per matrix multiplication |
+| QA      | stemmer  | repro.qa.stemmer           | per word                  |
+| QA      | regex    | repro.regex                | per (pattern, sentence)   |
+| QA      | crf      | repro.qa.crf               | per sentence              |
+| IMM     | fe       | repro.imm.hessian          | per image tile            |
+| IMM     | fd       | repro.imm.descriptor       | per keypoint              |
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.asr.dnn import DeepNeuralNetwork, DNNConfig
+from repro.asr.gmm import DiagonalGMM, fit_gmm
+from repro.imm.descriptor import describe_keypoints
+from repro.imm.hessian import FastHessianDetector, Keypoint
+from repro.imm.image import Image, SceneGenerator
+from repro.imm.integral import integral_image
+from repro.qa.crf import LinearChainCRF, default_model, generate_corpus
+from repro.qa.stemmer import stem
+from repro.regex.engine import Pattern
+from repro.regex.patterns import build_patterns, build_sentences
+from repro.suite.base import Kernel
+from repro.suite.parallel import map_chunks
+
+# ---------------------------------------------------------------------------
+# ASR kernels
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GMMInputs:
+    """A bank of per-HMM-state GMMs plus the frames to score."""
+
+    gmms: List[DiagonalGMM]
+    features: np.ndarray
+
+
+class GMMKernel(Kernel):
+    """Acoustic scoring: every HMM state's GMM scores every frame."""
+
+    name = "gmm"
+    service = "ASR"
+    granularity = "for each HMM state"
+
+    def prepare(self, scale: float = 1.0) -> GMMInputs:
+        rng = np.random.default_rng(7)
+        n_states = max(int(32 * scale), 2)
+        n_frames = max(int(64 * scale), 4)
+        dimension = 26
+        gmms = []
+        for state in range(n_states):
+            data = rng.normal(state % 5, 1.0, (64, dimension))
+            gmms.append(fit_gmm(data, n_components=4, n_iterations=3, seed=state))
+        features = rng.normal(0.0, 2.0, (n_frames, dimension))
+        return GMMInputs(gmms, features)
+
+    def run(self, inputs: GMMInputs) -> float:
+        total = 0.0
+        for gmm in inputs.gmms:
+            total += float(gmm.log_likelihood(inputs.features).sum())
+        return total
+
+    def run_parallel(self, inputs: GMMInputs, workers: int) -> float:
+        def work(gmms: Sequence[DiagonalGMM]) -> float:
+            return sum(float(g.log_likelihood(inputs.features).sum()) for g in gmms)
+
+        return sum(map_chunks(work, inputs.gmms, workers))
+
+    def subset(self, inputs: GMMInputs, chunk: range) -> GMMInputs:
+        return GMMInputs(inputs.gmms[chunk.start : chunk.stop], inputs.features)
+
+    def count_items(self, inputs: GMMInputs) -> int:
+        return len(inputs.gmms)
+
+
+@dataclass
+class DNNInputs:
+    network: DeepNeuralNetwork
+    batches: List[np.ndarray]  # pre-stacked input batches
+
+
+class DNNKernel(Kernel):
+    """Forward passes through the acoustic DNN, one batch per work item."""
+
+    name = "dnn"
+    service = "ASR"
+    granularity = "for each matrix multiplication"
+
+    def prepare(self, scale: float = 1.0) -> DNNInputs:
+        rng = np.random.default_rng(11)
+        config = DNNConfig(input_dim=26, n_classes=99, hidden_sizes=(256, 256), context=2)
+        network = DeepNeuralNetwork(config)
+        n_batches = max(int(16 * scale), 2)
+        batches = [
+            rng.normal(size=(32, config.stacked_dim)) for _ in range(n_batches)
+        ]
+        return DNNInputs(network, batches)
+
+    def run(self, inputs: DNNInputs) -> float:
+        return sum(float(inputs.network.forward(batch).sum()) for batch in inputs.batches)
+
+    def run_parallel(self, inputs: DNNInputs, workers: int) -> float:
+        def work(batches: Sequence[np.ndarray]) -> float:
+            return sum(float(inputs.network.forward(b).sum()) for b in batches)
+
+        return sum(map_chunks(work, inputs.batches, workers))
+
+    def subset(self, inputs: DNNInputs, chunk: range) -> DNNInputs:
+        return DNNInputs(inputs.network, inputs.batches[chunk.start : chunk.stop])
+
+    def count_items(self, inputs: DNNInputs) -> int:
+        return len(inputs.batches)
+
+
+# ---------------------------------------------------------------------------
+# QA kernels
+# ---------------------------------------------------------------------------
+
+_WORD_STEMS = [
+    "nation", "relate", "operate", "conform", "hope", "adjust", "depend",
+    "active", "sense", "form", "decide", "triplicate", "electric", "motor",
+    "feudal", "radical",
+]
+_SUFFIXES = ["al", "ance", "ation", "izer", "alism", "iveness", "fulness",
+             "ousli", "ement", "iviti", "ing", "ed", "s", "es", "ness", ""]
+
+
+def build_word_list(count: int, seed: int = 3) -> List[str]:
+    """Deterministic word list in the spirit of Table 4's 4M-word input."""
+    rng = random.Random(seed)
+    return [
+        rng.choice(_WORD_STEMS) + rng.choice(_SUFFIXES) for _ in range(count)
+    ]
+
+
+class StemmerKernel(Kernel):
+    """Porter-stem a word list, one word per work item."""
+
+    name = "stemmer"
+    service = "QA"
+    granularity = "for each individual word"
+
+    #: Default word count; Table 4 uses 4M, scaled down for Python runtimes.
+    base_words = 20_000
+
+    def prepare(self, scale: float = 1.0) -> List[str]:
+        return build_word_list(max(int(self.base_words * scale), 10))
+
+    def run(self, inputs: List[str]) -> float:
+        return float(sum(len(stem(word)) for word in inputs))
+
+    def run_parallel(self, inputs: List[str], workers: int) -> float:
+        def work(words: Sequence[str]) -> float:
+            return float(sum(len(stem(word)) for word in words))
+
+        return sum(map_chunks(work, inputs, workers))
+
+    def subset(self, inputs: List[str], chunk: range) -> List[str]:
+        return inputs[chunk.start : chunk.stop]
+
+    def count_items(self, inputs: List[str]) -> int:
+        return len(inputs)
+
+
+@dataclass
+class RegexInputs:
+    patterns: List[Pattern]
+    sentences: List[str]
+    pairs: List[Tuple[int, int]]
+
+
+class RegexKernel(Kernel):
+    """Match 100 expressions against 400 sentences (Table 4's input set)."""
+
+    name = "regex"
+    service = "QA"
+    granularity = "for each regex-sentence pair"
+
+    def prepare(self, scale: float = 1.0) -> RegexInputs:
+        n_patterns = max(int(100 * min(scale, 1.0)), 5)
+        n_sentences = max(int(400 * scale), 10)
+        patterns = build_patterns(n_patterns)
+        sentences = build_sentences(n_sentences)
+        pairs = [(p, s) for p in range(n_patterns) for s in range(n_sentences)]
+        return RegexInputs(patterns, sentences, pairs)
+
+    def run(self, inputs: RegexInputs) -> float:
+        hits = 0
+        for pattern_index, sentence_index in inputs.pairs:
+            if inputs.patterns[pattern_index].test(inputs.sentences[sentence_index]):
+                hits += 1
+        return float(hits)
+
+    def run_parallel(self, inputs: RegexInputs, workers: int) -> float:
+        def work(pairs: Sequence[Tuple[int, int]]) -> float:
+            return float(
+                sum(
+                    1
+                    for p, s in pairs
+                    if inputs.patterns[p].test(inputs.sentences[s])
+                )
+            )
+
+        return sum(map_chunks(work, inputs.pairs, workers))
+
+    def subset(self, inputs: RegexInputs, chunk: range) -> RegexInputs:
+        return RegexInputs(
+            inputs.patterns, inputs.sentences, inputs.pairs[chunk.start : chunk.stop]
+        )
+
+    def count_items(self, inputs: RegexInputs) -> int:
+        return len(inputs.pairs)
+
+
+@dataclass
+class CRFInputs:
+    model: LinearChainCRF
+    sentences: List[Tuple[str, ...]]
+
+
+class CRFKernel(Kernel):
+    """CRF Viterbi decoding, one sentence per work item (CoNLL-style)."""
+
+    name = "crf"
+    service = "QA"
+    granularity = "for each sentence"
+
+    def prepare(self, scale: float = 1.0) -> CRFInputs:
+        n_sentences = max(int(200 * scale), 5)
+        corpus = generate_corpus(n_sentences, seed=21)
+        return CRFInputs(default_model(), [s.tokens for s in corpus])
+
+    def run(self, inputs: CRFInputs) -> float:
+        return float(
+            sum(len(inputs.model.decode(tokens)) for tokens in inputs.sentences)
+        )
+
+    def run_parallel(self, inputs: CRFInputs, workers: int) -> float:
+        def work(sentences: Sequence[Tuple[str, ...]]) -> float:
+            return float(sum(len(inputs.model.decode(t)) for t in sentences))
+
+        return sum(map_chunks(work, inputs.sentences, workers))
+
+    def subset(self, inputs: CRFInputs, chunk: range) -> CRFInputs:
+        return CRFInputs(inputs.model, inputs.sentences[chunk.start : chunk.stop])
+
+    def count_items(self, inputs: CRFInputs) -> int:
+        return len(inputs.sentences)
+
+
+# ---------------------------------------------------------------------------
+# IMM kernels
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FEInputs:
+    tiles: List[Image]
+    detector: FastHessianDetector
+
+
+class FEKernel(Kernel):
+    """SURF feature extraction over image tiles (the paper's tiled port)."""
+
+    name = "fe"
+    service = "IMM"
+    granularity = "for each image tile"
+
+    def prepare(self, scale: float = 1.0) -> FEInputs:
+        side = max(int(128 * np.sqrt(scale)), 64)
+        generator = SceneGenerator(height=side, width=side, seed=13)
+        n_images = max(int(2 * scale), 1)
+        tiles: List[Image] = []
+        for index in range(n_images):
+            tiles.extend(t for _, _, t in generator.scene(index).tiles(64))
+        return FEInputs(tiles, FastHessianDetector())
+
+    def run(self, inputs: FEInputs) -> float:
+        return float(
+            sum(len(inputs.detector.detect(tile)) for tile in inputs.tiles)
+        )
+
+    def run_parallel(self, inputs: FEInputs, workers: int) -> float:
+        def work(tiles: Sequence[Image]) -> float:
+            return float(sum(len(inputs.detector.detect(t)) for t in tiles))
+
+        return sum(map_chunks(work, inputs.tiles, workers))
+
+    def subset(self, inputs: FEInputs, chunk: range) -> FEInputs:
+        return FEInputs(inputs.tiles[chunk.start : chunk.stop], inputs.detector)
+
+    def count_items(self, inputs: FEInputs) -> int:
+        return len(inputs.tiles)
+
+
+@dataclass
+class FDInputs:
+    ii: np.ndarray
+    image: Image
+    keypoints: List[Keypoint]
+
+
+class FDKernel(Kernel):
+    """SURF feature description, one keypoint per work item."""
+
+    name = "fd"
+    service = "IMM"
+    granularity = "for each keypoint"
+
+    def prepare(self, scale: float = 1.0) -> FDInputs:
+        generator = SceneGenerator(seed=17)
+        image = generator.scene(0)
+        detector = FastHessianDetector(threshold=5e-6, max_keypoints=None)
+        keypoints = detector.detect(image)
+        target = max(int(80 * scale), 4)
+        while len(keypoints) < target:
+            keypoints = keypoints + keypoints  # repeat work items to scale up
+        return FDInputs(integral_image(image.pixels), image, keypoints[:target])
+
+    def run(self, inputs: FDInputs) -> float:
+        descriptors = describe_keypoints(
+            inputs.image, inputs.keypoints, ii=inputs.ii, upright=False
+        )
+        return float(np.abs(descriptors).sum())
+
+    def run_parallel(self, inputs: FDInputs, workers: int) -> float:
+        def work(keypoints: Sequence[Keypoint]) -> float:
+            descriptors = describe_keypoints(
+                inputs.image, list(keypoints), ii=inputs.ii, upright=False
+            )
+            return float(np.abs(descriptors).sum())
+
+        return sum(map_chunks(work, inputs.keypoints, workers))
+
+    def subset(self, inputs: FDInputs, chunk: range) -> FDInputs:
+        return FDInputs(inputs.ii, inputs.image, inputs.keypoints[chunk.start : chunk.stop])
+
+    def count_items(self, inputs: FDInputs) -> int:
+        return len(inputs.keypoints)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+KERNEL_CLASSES = (
+    GMMKernel,
+    DNNKernel,
+    StemmerKernel,
+    RegexKernel,
+    CRFKernel,
+    FEKernel,
+    FDKernel,
+)
+
+
+def all_kernels() -> List[Kernel]:
+    """Fresh instances of all seven kernels, Table 4 order."""
+    return [cls() for cls in KERNEL_CLASSES]
+
+
+def kernel_by_name(name: str) -> Kernel:
+    for cls in KERNEL_CLASSES:
+        if cls.name == name:
+            return cls()
+    raise KeyError(f"unknown kernel: {name!r}")

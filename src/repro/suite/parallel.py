@@ -1,0 +1,71 @@
+"""Thread-pool helpers for the pthread-analog kernel ports.
+
+"Each thread is responsible for a range of data over a fixed number of
+iterations ... synchronizing only at the end of the execution"
+(Section 4.3.1).  ``map_chunks`` reproduces exactly that: split the work into
+``workers`` contiguous ranges, run each on its own thread, join once.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def chunk_ranges(n_items: int, workers: int) -> List[range]:
+    """Split ``range(n_items)`` into at most ``workers`` contiguous ranges."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    workers = min(workers, max(n_items, 1))
+    base = n_items // workers
+    remainder = n_items % workers
+    ranges = []
+    start = 0
+    for index in range(workers):
+        size = base + (1 if index < remainder else 0)
+        if size == 0:
+            continue
+        ranges.append(range(start, start + size))
+        start += size
+    return ranges
+
+
+def map_chunks(
+    work: Callable[[Sequence[T]], R],
+    items: Sequence[T],
+    workers: int,
+) -> List[R]:
+    """Apply ``work`` to contiguous chunks of ``items`` on a thread pool."""
+    ranges = chunk_ranges(len(items), workers)
+    if len(ranges) <= 1:
+        return [work(items)]
+    with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
+        futures = [
+            pool.submit(work, items[chunk.start : chunk.stop]) for chunk in ranges
+        ]
+        return [future.result() for future in futures]
+
+
+def _run_kernel_chunk(payload):
+    """Module-level worker for process pools (must be picklable)."""
+    kernel, chunk_inputs = payload
+    return kernel.run(chunk_inputs)
+
+
+def run_chunks_in_processes(kernel, chunks: List) -> float:
+    """Run ``kernel.run`` over each chunk in its own OS process and sum.
+
+    Uses the ``fork`` start method (Linux) so large read-only inputs are
+    shared copy-on-write rather than re-pickled where possible.
+    """
+    import multiprocessing
+
+    context = multiprocessing.get_context("fork")
+    with context.Pool(processes=len(chunks)) as pool:
+        partials = pool.map(
+            _run_kernel_chunk, [(kernel, chunk) for chunk in chunks]
+        )
+    return float(sum(partials))

@@ -1,0 +1,121 @@
+"""Postings-list compression: delta + variable-byte encoding.
+
+Memory-resident indexes (the paper's Web Search configuration) live or die
+by postings size.  Doc ids are sorted, so gaps are small; varint coding
+stores most gaps in one byte.  The compressed form round-trips exactly and
+the bench shows the size ratio against raw 8-byte ids.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def varint_encode(numbers: Sequence[int]) -> bytes:
+    """Variable-byte encode non-negative integers (7 bits per byte, MSB=more)."""
+    out = bytearray()
+    for number in numbers:
+        if number < 0:
+            raise ConfigurationError("varint requires non-negative integers")
+        while True:
+            byte = number & 0x7F
+            number >>= 7
+            if number:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return bytes(out)
+
+
+def varint_decode(data: bytes) -> List[int]:
+    """Inverse of :func:`varint_encode`."""
+    numbers: List[int] = []
+    current = 0
+    shift = 0
+    for byte in data:
+        current |= (byte & 0x7F) << shift
+        if byte & 0x80:
+            shift += 7
+        else:
+            numbers.append(current)
+            current = 0
+            shift = 0
+    if shift != 0:
+        raise ConfigurationError("truncated varint stream")
+    return numbers
+
+
+def delta_encode(sorted_ids: Sequence[int]) -> List[int]:
+    """Strictly increasing ids -> first id plus successive gaps."""
+    gaps: List[int] = []
+    previous = -1
+    for doc_id in sorted_ids:
+        if doc_id <= previous:
+            raise ConfigurationError("ids must be strictly increasing")
+        gaps.append(doc_id - previous - 1 if previous >= 0 else doc_id)
+        previous = doc_id
+    return gaps
+
+
+def delta_decode(gaps: Sequence[int]) -> List[int]:
+    ids: List[int] = []
+    previous = -1
+    for gap in gaps:
+        current = previous + gap + 1 if previous >= 0 else gap
+        ids.append(current)
+        previous = current
+    return ids
+
+
+class CompressedPostings:
+    """A term's posting list stored as delta-varint bytes.
+
+    Stores (doc_id, term_frequency) pairs; positions are dropped (phrase
+    search falls back to the uncompressed index).
+    """
+
+    def __init__(self, doc_ids: Sequence[int], frequencies: Sequence[int]):
+        if len(doc_ids) != len(frequencies):
+            raise ConfigurationError("ids and frequencies must align")
+        if any(freq < 1 for freq in frequencies):
+            raise ConfigurationError("frequencies must be >= 1")
+        self._count = len(doc_ids)
+        self._id_bytes = varint_encode(delta_encode(list(doc_ids)))
+        # Frequencies are >= 1; store freq-1 so ones cost the minimum.
+        self._freq_bytes = varint_encode([freq - 1 for freq in frequencies])
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def n_bytes(self) -> int:
+        return len(self._id_bytes) + len(self._freq_bytes)
+
+    def decode(self) -> Tuple[List[int], List[int]]:
+        """(doc_ids, frequencies), exactly as given to the constructor."""
+        ids = delta_decode(varint_decode(self._id_bytes))
+        freqs = [value + 1 for value in varint_decode(self._freq_bytes)]
+        return ids, freqs
+
+
+def compress_index(index) -> Tuple[dict, int, int]:
+    """Compress every posting list of an InvertedIndex.
+
+    Returns (term -> CompressedPostings, compressed bytes, raw bytes), where
+    raw assumes 8-byte doc ids + 4-byte frequencies.
+    """
+    compressed = {}
+    total_compressed = 0
+    total_raw = 0
+    for term in index.terms():
+        postings = index.postings(term)
+        doc_ids = [posting.doc_id for posting in postings]
+        freqs = [posting.term_frequency for posting in postings]
+        entry = CompressedPostings(doc_ids, freqs)
+        compressed[term] = entry
+        total_compressed += entry.n_bytes
+        total_raw += len(postings) * 12
+    return compressed, total_compressed, total_raw

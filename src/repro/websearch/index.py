@@ -1,0 +1,129 @@
+"""Inverted index over a document collection.
+
+Postings are stored per term as ``{doc_id: term_frequency}``; document lengths
+and average length are tracked for BM25.  This is the "memory resident" index
+configuration the paper uses for its Web Search baseline (Apache Nutch tuned
+to go no further than main memory).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.qa.stemmer import stem
+from repro.qa.tokenizer import remove_stopwords, tokenize
+from repro.websearch.documents import Document
+
+
+def analyze(text: str) -> List[str]:
+    """Text → index terms: tokenize, drop stopwords, stem."""
+    return [stem(token) for token in remove_stopwords(tokenize(text))]
+
+
+@dataclass
+class Posting:
+    """One document entry in a term's posting list.
+
+    ``positions`` holds the term's token offsets within the document,
+    enabling phrase queries (consecutive-position intersection).
+    """
+
+    doc_id: int
+    term_frequency: int
+    positions: Tuple[int, ...] = ()
+
+
+class InvertedIndex:
+    """Term → postings map with document statistics."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, List[Posting]] = {}
+        self._doc_lengths: Dict[int, int] = {}
+        self._documents: Dict[int, Document] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def add(self, document: Document) -> None:
+        if document.doc_id in self._documents:
+            raise ValueError(f"duplicate doc_id {document.doc_id}")
+        terms = analyze(document.title + " " + document.text)
+        self._documents[document.doc_id] = document
+        self._doc_lengths[document.doc_id] = len(terms)
+        positions: Dict[str, List[int]] = defaultdict(list)
+        for offset, term in enumerate(terms):
+            positions[term].append(offset)
+        for term, offsets in positions.items():
+            self._postings.setdefault(term, []).append(
+                Posting(document.doc_id, len(offsets), tuple(offsets))
+            )
+
+    def add_all(self, documents: Iterable[Document]) -> None:
+        for document in documents:
+            self.add(document)
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def n_documents(self) -> int:
+        return len(self._documents)
+
+    @property
+    def n_terms(self) -> int:
+        return len(self._postings)
+
+    @property
+    def average_doc_length(self) -> float:
+        if not self._doc_lengths:
+            return 0.0
+        return sum(self._doc_lengths.values()) / len(self._doc_lengths)
+
+    def doc_length(self, doc_id: int) -> int:
+        return self._doc_lengths[doc_id]
+
+    def document(self, doc_id: int) -> Document:
+        return self._documents[doc_id]
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, []))
+
+    def postings(self, term: str) -> List[Posting]:
+        return self._postings.get(term, [])
+
+    def terms(self) -> Iterable[str]:
+        return self._postings.keys()
+
+    def phrase_documents(self, phrase_terms: List[str]) -> List[int]:
+        """Documents containing ``phrase_terms`` at consecutive positions.
+
+        Standard positional-intersection: a document qualifies when some
+        position p has term[0] at p, term[1] at p+1, and so on.
+        """
+        if not phrase_terms:
+            return []
+        if len(phrase_terms) == 1:
+            return [posting.doc_id for posting in self.postings(phrase_terms[0])]
+        position_maps: List[Dict[int, set]] = []
+        for term in phrase_terms:
+            postings = self.postings(term)
+            if not postings:
+                return []
+            position_maps.append(
+                {posting.doc_id: set(posting.positions) for posting in postings}
+            )
+        candidates = set(position_maps[0])
+        for term_map in position_maps[1:]:
+            candidates &= set(term_map)
+        matching: List[int] = []
+        for doc_id in sorted(candidates):
+            starts = position_maps[0][doc_id]
+            if any(
+                all(
+                    (start + offset) in position_maps[offset][doc_id]
+                    for offset in range(1, len(phrase_terms))
+                )
+                for start in starts
+            ):
+                matching.append(doc_id)
+        return matching

@@ -1,0 +1,78 @@
+"""TF-IDF cosine ranking — the classical alternative to BM25.
+
+Used by the retrieval ablation (``bench_ablation_retrieval``): BM25's
+saturation and length normalization usually beat raw TF-IDF on verbose
+documents; measuring both over the knowledge corpus quantifies the choice
+for this workload.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.websearch.bm25 import ScoredDocument
+from repro.websearch.index import InvertedIndex
+
+
+class TfIdfRanker:
+    """Cosine similarity over ltc-weighted document vectors.
+
+    Documents use log-tf * idf weights, L2-normalized lazily per document;
+    queries use raw term counts.  Exposes the same ``top_k`` interface as
+    :class:`~repro.websearch.bm25.BM25` so the engine can swap rankers.
+    """
+
+    def __init__(self, index: InvertedIndex):
+        self.index = index
+        self._doc_norms: Dict[int, float] = {}
+
+    def idf(self, term: str) -> float:
+        df = self.index.document_frequency(term)
+        if df == 0:
+            return 0.0
+        return math.log(self.index.n_documents / df)
+
+    def _document_norm(self, doc_id: int) -> float:
+        cached = self._doc_norms.get(doc_id)
+        if cached is not None:
+            return cached
+        # One pass over the vocabulary is wasteful; accumulate lazily from
+        # postings the first time any document is scored.
+        self._build_norms()
+        return self._doc_norms.get(doc_id, 1.0)
+
+    def _build_norms(self) -> None:
+        if self._doc_norms:
+            return
+        sums: Dict[int, float] = {}
+        for term in self.index.terms():
+            idf = self.idf(term)
+            for posting in self.index.postings(term):
+                weight = (1.0 + math.log(posting.term_frequency)) * idf
+                sums[posting.doc_id] = sums.get(posting.doc_id, 0.0) + weight * weight
+        self._doc_norms = {
+            doc_id: math.sqrt(value) or 1.0 for doc_id, value in sums.items()
+        }
+
+    def score_all(self, terms: Sequence[str]) -> Dict[int, float]:
+        self._build_norms()
+        scores: Dict[int, float] = {}
+        for term in set(terms):
+            idf = self.idf(term)
+            if idf == 0.0:
+                continue
+            query_weight = terms.count(term) * idf
+            for posting in self.index.postings(term):
+                doc_weight = (1.0 + math.log(posting.term_frequency)) * idf
+                scores[posting.doc_id] = scores.get(posting.doc_id, 0.0) + (
+                    query_weight * doc_weight
+                )
+        for doc_id in scores:
+            scores[doc_id] /= self._doc_norms.get(doc_id, 1.0)
+        return scores
+
+    def top_k(self, terms: Sequence[str], k: int = 10) -> List[ScoredDocument]:
+        scores = self.score_all(list(terms))
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return [ScoredDocument(doc_id, score) for doc_id, score in ranked[:k]]

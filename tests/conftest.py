@@ -1,0 +1,17 @@
+"""Shared fixtures: expensive trained components built once per session."""
+
+import pytest
+
+from repro.core import InputSet, SiriusPipeline
+
+
+@pytest.fixture(scope="session")
+def sirius_pipeline():
+    """A fully trained GMM-backed Sirius pipeline (built once)."""
+    return SiriusPipeline.build()
+
+
+@pytest.fixture(scope="session")
+def input_set():
+    """The 42-query input set with synthesized audio and images."""
+    return InputSet.build()

@@ -1,0 +1,76 @@
+"""Tests for forced alignment."""
+
+import pytest
+
+from repro.asr import (
+    BigramLanguageModel,
+    Synthesizer,
+    collect_training_data,
+    train_gmm_acoustic_model,
+)
+from repro.asr.align import ForcedAligner, WordAlignment
+from repro.errors import DecodingError
+
+SENTENCES = ["set my alarm for eight am", "what is the capital of italy"]
+
+
+@pytest.fixture(scope="module")
+def aligner():
+    data = collect_training_data(SENTENCES, repetitions=3)
+    return ForcedAligner(train_gmm_acoustic_model(data))
+
+
+class TestForcedAlignment:
+    def test_covers_all_words_in_order(self, aligner):
+        text = SENTENCES[0]
+        wave = Synthesizer(seed=101).synthesize(text)
+        alignments = aligner.align(wave, text)
+        assert [a.word for a in alignments] == text.split()
+
+    def test_spans_monotone_nonoverlapping(self, aligner):
+        text = SENTENCES[1]
+        wave = Synthesizer(seed=102).synthesize(text)
+        alignments = aligner.align(wave, text)
+        for earlier, later in zip(alignments, alignments[1:]):
+            assert earlier.end_frame <= later.start_frame
+            assert earlier.start_frame < earlier.end_frame
+
+    def test_times_within_audio(self, aligner):
+        text = SENTENCES[0]
+        wave = Synthesizer(seed=103).synthesize(text)
+        alignments = aligner.align(wave, text)
+        assert alignments[0].start_time >= 0.0
+        assert alignments[-1].end_time <= wave.duration + 0.05
+
+    def test_alignment_matches_synthesis_truth(self, aligner):
+        # The synthesizer knows where each word really is; the aligner
+        # should land within ~60 ms of the truth.
+        synth = Synthesizer(seed=104)
+        text = SENTENCES[0]
+        wave, phone_alignment = synth.aligned_synthesize(text)
+        word_starts = []
+        cursor = 0
+        for word in text.split():
+            from repro.asr.phonemes import pronounce
+
+            n_phones = len(pronounce(word))
+            word_starts.append(phone_alignment[cursor][1] / wave.sample_rate)
+            cursor += n_phones
+        aligned = aligner.align(wave, text)
+        for truth, found in zip(word_starts, aligned):
+            assert abs(found.start_time - truth) < 0.08, found.word
+
+    def test_empty_transcript_rejected(self, aligner):
+        wave = Synthesizer(seed=105).synthesize("set my alarm")
+        with pytest.raises(DecodingError):
+            aligner.align(wave, "   ")
+
+    def test_word_alignment_properties(self):
+        alignment = WordAlignment("hi", 10, 30, frame_hop=0.01)
+        assert alignment.start_time == pytest.approx(0.1)
+        assert alignment.end_time == pytest.approx(0.3)
+        assert alignment.duration == pytest.approx(0.2)
+
+    def test_self_loop_validation(self, aligner):
+        with pytest.raises(DecodingError):
+            ForcedAligner(aligner.acoustic_model, self_loop_prob=1.5)

@@ -1,0 +1,169 @@
+"""Tests for GMM/DNN acoustic models and the language model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asr import (
+    BigramLanguageModel,
+    DNNConfig,
+    DeepNeuralNetwork,
+    DiagonalGMM,
+    fit_gmm,
+    score_naive,
+)
+from repro.asr.lm import BOS, EOS
+from repro.errors import ModelError
+
+
+def _toy_gmm():
+    means = np.array([[0.0, 0.0], [5.0, 5.0]])
+    precisions = np.ones((2, 2))
+    log_weights = np.log(np.array([0.5, 0.5]))
+    return DiagonalGMM(means, precisions, log_weights)
+
+
+class TestDiagonalGMM:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            DiagonalGMM(np.zeros((2, 3)), np.ones((3, 2)), np.zeros(2))
+        with pytest.raises(ModelError):
+            DiagonalGMM(np.zeros((2, 3)), np.ones((2, 3)), np.zeros(3))
+        with pytest.raises(ModelError):
+            DiagonalGMM(np.zeros((2, 3)), -np.ones((2, 3)), np.zeros(2))
+
+    def test_likelihood_peaks_at_means(self):
+        gmm = _toy_gmm()
+        at_mean = gmm.score(np.array([0.0, 0.0]))
+        away = gmm.score(np.array([2.5, 2.5]))
+        assert at_mean > away
+
+    def test_matches_exact_density(self):
+        # Single-component unit-variance GMM equals the analytic Gaussian.
+        gmm = DiagonalGMM(np.zeros((1, 2)), np.ones((1, 2)), np.zeros(1))
+        x = np.array([1.0, -1.0])
+        expected = -0.5 * (2 * np.log(2 * np.pi) + x @ x)
+        assert gmm.score(x) == pytest.approx(expected)
+
+    def test_naive_matches_vectorized(self):
+        gmm = _toy_gmm()
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(20, 2)) * 3
+        assert np.allclose(score_naive(gmm, features), gmm.log_likelihood(features), rtol=1e-9)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ModelError):
+            _toy_gmm().log_likelihood(np.zeros((4, 3)))
+
+    def test_weights_shift_scores(self):
+        means = np.zeros((2, 1))
+        precisions = np.ones((2, 1))
+        heavy_first = DiagonalGMM(means, precisions, np.log(np.array([0.9, 0.1])))
+        balanced = DiagonalGMM(means, precisions, np.log(np.array([0.5, 0.5])))
+        # Identical components: weights are a convex split, total density equal.
+        x = np.array([[0.3]])
+        assert heavy_first.log_likelihood(x)[0] == pytest.approx(balanced.log_likelihood(x)[0])
+
+
+class TestFitGMM:
+    def test_recovers_two_clusters(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0.0, 0.3, (200, 2))
+        b = rng.normal(4.0, 0.3, (200, 2))
+        gmm = fit_gmm(np.vstack([a, b]), n_components=2, n_iterations=15)
+        centers = sorted(gmm.means[:, 0])
+        assert centers[0] == pytest.approx(0.0, abs=0.3)
+        assert centers[1] == pytest.approx(4.0, abs=0.3)
+
+    def test_insufficient_samples(self):
+        with pytest.raises(ModelError):
+            fit_gmm(np.zeros((2, 3)), n_components=4)
+
+    def test_fitted_likelihood_beats_offset_model(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(1.0, 0.5, (300, 3))
+        fitted = fit_gmm(data, n_components=2)
+        shifted = DiagonalGMM(fitted.means + 10.0, fitted.precisions, fitted.log_weights)
+        assert fitted.log_likelihood(data).mean() > shifted.log_likelihood(data).mean()
+
+
+class TestDNN:
+    def _xor_data(self, n=400, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-1, 1, (n, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+        return x, y
+
+    def test_learns_xor(self):
+        x, y = self._xor_data()
+        config = DNNConfig(input_dim=2, n_classes=2, hidden_sizes=(32,), context=0,
+                           epochs=60, learning_rate=0.1, seed=1)
+        net = DeepNeuralNetwork(config)
+        losses = net.fit(x, y)
+        assert losses[-1] < losses[0]
+        assert (net.predict(x) == y).mean() > 0.95
+
+    def test_log_posteriors_normalized(self):
+        config = DNNConfig(input_dim=3, n_classes=4, hidden_sizes=(8,), context=1)
+        net = DeepNeuralNetwork(config)
+        posts = net.log_posteriors(np.random.default_rng(0).normal(size=(5, 3)))
+        assert posts.shape == (5, 4)
+        assert np.allclose(np.exp(posts).sum(axis=1), 1.0)
+
+    def test_context_stacking_shape(self):
+        config = DNNConfig(input_dim=4, n_classes=2, context=2)
+        net = DeepNeuralNetwork(config)
+        stacked = net.stack_context(np.zeros((7, 4)))
+        assert stacked.shape == (7, 20)
+
+    def test_stacking_validates_dimension(self):
+        config = DNNConfig(input_dim=4, n_classes=2)
+        with pytest.raises(ModelError):
+            DeepNeuralNetwork(config).stack_context(np.zeros((7, 3)))
+
+    def test_fit_validates_lengths(self):
+        config = DNNConfig(input_dim=2, n_classes=2, context=0)
+        with pytest.raises(ModelError):
+            DeepNeuralNetwork(config).fit(np.zeros((5, 2)), np.zeros(4, dtype=int))
+
+    def test_priors_updated_by_fit(self):
+        x, y = self._xor_data(100)
+        config = DNNConfig(input_dim=2, n_classes=2, context=0, epochs=1)
+        net = DeepNeuralNetwork(config)
+        net.fit(x, y)
+        assert np.exp(net.log_priors).sum() == pytest.approx(1.0, abs=0.01)
+
+
+class TestBigramLM:
+    def test_conditional_probabilities_sum_to_one(self):
+        lm = BigramLanguageModel(["a b c", "a b d"])
+        words = lm.vocabulary + [EOS]
+        total = sum(np.exp(lm.log_prob(w, "b")) for w in words)
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_seen_bigram_preferred(self):
+        lm = BigramLanguageModel(["set my alarm", "set my timer"])
+        assert lm.log_prob("my", "set") > lm.log_prob("timer", "set")
+
+    def test_sentence_log_prob_ordering(self):
+        lm = BigramLanguageModel(["set my alarm for eight am"] * 3 + ["what is this"])
+        assert lm.sentence_log_prob("set my alarm") > lm.sentence_log_prob("alarm my set")
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ModelError):
+            BigramLanguageModel([])
+        with pytest.raises(ModelError):
+            BigramLanguageModel(["a"], add_k=0)
+
+    def test_transition_matrix_shape(self):
+        lm = BigramLanguageModel(["a b", "b c"])
+        words = lm.vocabulary
+        matrix = lm.transition_matrix(words)
+        assert matrix.shape == (len(words) + 1, len(words))
+        # BOS row matches log_prob with BOS context.
+        for column, word in enumerate(words):
+            assert matrix[len(words), column] == pytest.approx(lm.log_prob(word, BOS))
+
+    def test_case_insensitive(self):
+        lm = BigramLanguageModel(["Set My Alarm"])
+        assert lm.log_prob("my", "set") == lm.log_prob("MY", "SET")

@@ -1,0 +1,64 @@
+"""Tests for int8 DNN quantization."""
+
+import numpy as np
+import pytest
+
+from repro.asr import DNNConfig, DeepNeuralNetwork, collect_training_data, train_dnn_acoustic_model
+from repro.asr.quantize import QuantizedDNN, agreement, quantize
+from repro.errors import ModelError
+
+
+@pytest.fixture(scope="module")
+def trained():
+    data = collect_training_data(
+        ["set my alarm", "play some music"], repetitions=3
+    )
+    model = train_dnn_acoustic_model(data, epochs=8)
+    return model.network, data
+
+
+class TestQuantization:
+    def test_weights_are_int8(self, trained):
+        network, _ = trained
+        quantized = quantize(network)
+        for layer in quantized.layers:
+            assert layer.weights_q.dtype == np.int8
+            assert layer.scale > 0
+
+    def test_dequantized_weights_close(self, trained):
+        network, _ = trained
+        quantized = quantize(network)
+        for layer, weights in zip(quantized.layers, network.weights):
+            recovered = layer.weights_q.astype(float) * layer.scale
+            assert np.abs(recovered - weights).max() <= layer.scale / 2 + 1e-12
+
+    def test_high_prediction_agreement(self, trained):
+        network, data = trained
+        quantized = quantize(network)
+        assert agreement(network, quantized, data.features) > 0.9
+
+    def test_posteriors_normalized(self, trained):
+        network, data = trained
+        quantized = quantize(network)
+        posts = quantized.log_posteriors(data.features[:20])
+        assert np.allclose(np.exp(posts).sum(axis=1), 1.0)
+
+    def test_model_8x_smaller(self, trained):
+        network, _ = trained
+        quantized = quantize(network)
+        float_bytes = sum(w.nbytes for w in network.weights)
+        assert quantized.model_bytes * 8 == float_bytes
+
+    def test_emission_interface_matches(self, trained):
+        network, data = trained
+        quantized = quantize(network)
+        full = network.emission_log_likelihood(data.features[:5])
+        small = quantized.emission_log_likelihood(data.features[:5])
+        assert full.shape == small.shape
+
+    def test_zero_layer_rejected(self):
+        config = DNNConfig(input_dim=2, n_classes=2, hidden_sizes=(4,), context=0)
+        network = DeepNeuralNetwork(config)
+        network.weights = [np.zeros_like(w) for w in network.weights]
+        with pytest.raises(ModelError):
+            quantize(network)

@@ -1,0 +1,134 @@
+"""Tests for the trigram LM, n-best rescoring, and CMVN."""
+
+import numpy as np
+import pytest
+
+from repro.asr import (
+    BigramLanguageModel,
+    Decoder,
+    FeatureConfig,
+    FeatureExtractor,
+    Synthesizer,
+    collect_training_data,
+    train_gmm_acoustic_model,
+)
+from repro.asr.decoder import DecodeResult
+from repro.asr.lm import TrigramLanguageModel, rescore_nbest
+from repro.errors import ModelError
+
+SENTENCES = [
+    "set my alarm for eight am",
+    "set my timer for eight am",
+    "what is the capital of italy",
+]
+
+
+class TestTrigramLM:
+    def test_seen_trigram_scores_highest(self):
+        lm = TrigramLanguageModel(SENTENCES)
+        seen = lm.probability("alarm", ("set", "my"))
+        unseen = lm.probability("italy", ("set", "my"))
+        assert seen > unseen
+
+    def test_probabilities_in_range(self):
+        lm = TrigramLanguageModel(SENTENCES)
+        for word in ("set", "alarm", "zebra"):
+            p = lm.probability(word, ("set", "my"))
+            assert 0 < p < 1
+
+    def test_sentence_log_prob_prefers_training_sentence(self):
+        lm = TrigramLanguageModel(SENTENCES)
+        assert lm.sentence_log_prob("set my alarm for eight am") > lm.sentence_log_prob(
+            "alarm set for my am eight"
+        )
+
+    def test_trigram_beats_bigram_on_long_context(self):
+        # "set my alarm" vs "set my timer" disambiguate on the trigram.
+        corpus = ["set my alarm for eight am"] * 3 + ["wake my timer now"]
+        trigram = TrigramLanguageModel(corpus)
+        assert trigram.probability("alarm", ("set", "my")) > trigram.probability(
+            "timer", ("set", "my")
+        )
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ModelError):
+            TrigramLanguageModel([])
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ModelError):
+            TrigramLanguageModel(SENTENCES, weights=(0.9, 0.9, 0.9))
+
+
+class TestRescoring:
+    def _result(self, text, score):
+        return DecodeResult(text=text, words=tuple(text.split()), log_score=score, n_frames=100)
+
+    def test_rescoring_can_flip_order(self):
+        trigram = TrigramLanguageModel(["set my alarm for eight am"] * 5)
+        # Decoder slightly preferred the wrong text; trigram fixes it.
+        wrong = self._result("set my alarm for eight it", -100.0)
+        right = self._result("set my alarm for eight am", -100.5)
+        reranked = rescore_nbest([wrong, right], trigram, weight=5.0)
+        assert reranked[0].text == "set my alarm for eight am"
+
+    def test_zero_weight_keeps_decoder_order(self):
+        trigram = TrigramLanguageModel(SENTENCES)
+        first = self._result("a b", -1.0)
+        second = self._result("c d", -2.0)
+        reranked = rescore_nbest([second, first], trigram, weight=0.0)
+        assert reranked[0] is first
+
+    def test_negative_weight_rejected(self):
+        trigram = TrigramLanguageModel(SENTENCES)
+        with pytest.raises(ModelError):
+            rescore_nbest([], trigram, weight=-1.0)
+
+    def test_end_to_end_rescoring(self):
+        data = collect_training_data(SENTENCES, repetitions=3)
+        decoder = Decoder(
+            train_gmm_acoustic_model(data), BigramLanguageModel(SENTENCES)
+        )
+        trigram = TrigramLanguageModel(SENTENCES)
+        wave = Synthesizer(seed=55).synthesize(SENTENCES[0])
+        nbest = decoder.decode_nbest(wave, n=4)
+        reranked = rescore_nbest(nbest, trigram)
+        assert reranked[0].text == SENTENCES[0]
+
+
+class TestCMVN:
+    def test_cmvn_normalizes_statistics(self):
+        config = FeatureConfig(add_deltas=False, cmvn=True)
+        wave = Synthesizer(seed=1).synthesize("set my alarm for eight am")
+        features = FeatureExtractor(config).extract(wave)
+        assert np.allclose(features.mean(axis=0), 0.0, atol=1e-8)
+        assert np.allclose(features.std(axis=0), 1.0, atol=1e-6)
+
+    def test_cmvn_gain_invariance(self):
+        # CMVN makes features invariant to input gain; raw MFCCs are not.
+        synth = Synthesizer(seed=2, noise_level=0.0)
+        wave = synth.synthesize("play some music")
+        from repro.asr.audio import Waveform
+
+        louder = Waveform(wave.samples * 0.2, wave.sample_rate)
+        normalized = FeatureExtractor(FeatureConfig(add_deltas=False, cmvn=True))
+        raw = FeatureExtractor(FeatureConfig(add_deltas=False, cmvn=False))
+        cmvn_diff = np.abs(
+            normalized.extract(wave) - normalized.extract(louder)
+        ).mean()
+        raw_diff = np.abs(raw.extract(wave) - raw.extract(louder)).mean()
+        assert cmvn_diff < raw_diff
+
+    def test_cmvn_decoding_robust_to_gain(self):
+        config = FeatureConfig(cmvn=True)
+        extractor = FeatureExtractor(config)
+        data = collect_training_data(SENTENCES, repetitions=3, extractor=extractor)
+        decoder = Decoder(
+            train_gmm_acoustic_model(data),
+            BigramLanguageModel(SENTENCES),
+            feature_extractor=extractor,
+        )
+        from repro.asr.audio import Waveform
+
+        wave = Synthesizer(seed=3).synthesize(SENTENCES[0])
+        quiet = Waveform(wave.samples * 0.1, wave.sample_rate)
+        assert decoder.decode_waveform(quiet).text == SENTENCES[0]

@@ -1,0 +1,117 @@
+"""Tests for streaming feature extraction and online decoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.asr import (
+    BigramLanguageModel,
+    Decoder,
+    FeatureExtractor,
+    Synthesizer,
+    collect_training_data,
+    train_gmm_acoustic_model,
+)
+from repro.asr.streaming import StreamingDecoder, StreamingFeatureExtractor
+from repro.errors import DecodingError
+
+SENTENCES = [
+    "set my alarm for eight am",
+    "what is the capital of italy",
+    "play some music now",
+]
+
+
+@pytest.fixture(scope="module")
+def decoder():
+    data = collect_training_data(SENTENCES, repetitions=3)
+    return Decoder(train_gmm_acoustic_model(data), BigramLanguageModel(SENTENCES))
+
+
+class TestStreamingFeatures:
+    def _compare(self, wave, chunk_size):
+        offline = FeatureExtractor().extract(wave)
+        streaming = StreamingFeatureExtractor(FeatureExtractor().config)
+        rows = []
+        for start in range(0, len(wave.samples), chunk_size):
+            rows.append(streaming.push(wave.samples[start : start + chunk_size]))
+        rows.append(streaming.flush())
+        online = np.vstack(rows)
+        return offline, online
+
+    def test_matches_offline_exactly(self):
+        wave = Synthesizer(seed=71).synthesize("set my alarm")
+        offline, online = self._compare(wave, 777)
+        assert offline.shape == online.shape
+        assert np.allclose(offline, online, atol=1e-10)
+
+    @settings(deadline=None, max_examples=8)
+    @given(chunk_size=st.integers(50, 5000))
+    def test_chunk_size_invariance(self, chunk_size):
+        wave = Synthesizer(seed=72).synthesize("play some music")
+        offline, online = self._compare(wave, chunk_size)
+        assert offline.shape == online.shape
+        assert np.allclose(offline, online, atol=1e-10)
+
+    def test_empty_pushes_are_noops(self):
+        streaming = StreamingFeatureExtractor(FeatureExtractor().config)
+        assert streaming.push(np.zeros(0)).shape[0] == 0
+        assert streaming.flush().shape[0] >= 0
+
+    def test_lookahead_delays_emission(self):
+        streaming = StreamingFeatureExtractor(FeatureExtractor().config)
+        wave = Synthesizer(seed=73).synthesize("set")
+        # Push exactly enough for 3 frames; only 1 should be emitted
+        # (2 held back as delta lookahead).
+        frame_size = int(0.025 * 16000)
+        hop = int(0.010 * 16000)
+        emitted = streaming.push(wave.samples[: frame_size + 2 * hop])
+        assert len(emitted) == 1
+
+
+class TestStreamingDecoder:
+    def test_final_matches_offline(self, decoder):
+        synth = Synthesizer(seed=74)
+        for sentence in SENTENCES:
+            wave = synth.synthesize(sentence)
+            offline = decoder.decode_waveform(wave).text
+            streaming = StreamingDecoder(decoder)
+            for start in range(0, len(wave.samples), 3200):
+                streaming.feed(wave.samples[start : start + 3200])
+            assert streaming.finish().text == offline == sentence
+
+    def test_partials_grow_into_final(self, decoder):
+        wave = Synthesizer(seed=75).synthesize("play some music now")
+        streaming = StreamingDecoder(decoder)
+        partials = []
+        for start in range(0, len(wave.samples), 3200):
+            streaming.feed(wave.samples[start : start + 3200])
+            partials.append(streaming.partial())
+        final = streaming.finish()
+        assert final.text == "play some music now"
+        assert any(p and final.text.startswith(p.split()[0]) for p in partials)
+
+    def test_partial_before_audio_is_empty(self, decoder):
+        streaming = StreamingDecoder(decoder)
+        assert streaming.partial() == ""
+
+    def test_feed_after_finish_rejected(self, decoder):
+        wave = Synthesizer(seed=76).synthesize("set my alarm")
+        streaming = StreamingDecoder(decoder)
+        streaming.feed(wave.samples)
+        streaming.finish()
+        with pytest.raises(DecodingError):
+            streaming.feed(np.zeros(100))
+
+    def test_finish_without_audio_raises(self, decoder):
+        streaming = StreamingDecoder(decoder)
+        with pytest.raises(DecodingError):
+            streaming.finish()
+
+    def test_finish_idempotent(self, decoder):
+        wave = Synthesizer(seed=77).synthesize("set my alarm")
+        streaming = StreamingDecoder(decoder)
+        streaming.feed(wave.samples)
+        first = streaming.finish()
+        second = streaming.finish()
+        assert first.text == second.text

@@ -1,0 +1,97 @@
+"""Tests for voice activity detection."""
+
+import numpy as np
+import pytest
+
+from repro.asr import SAMPLE_RATE, Synthesizer, Waveform
+from repro.asr.vad import SpeechSegment, VADConfig, VoiceActivityDetector
+from repro.errors import ConfigurationError
+
+
+def _with_silence(wave, lead=0.5, tail=0.5, noise=0.003, seed=0):
+    """Pad speech with noisy silence on both sides."""
+    rng = np.random.default_rng(seed)
+    lead_samples = rng.normal(0, noise, int(lead * wave.sample_rate))
+    tail_samples = rng.normal(0, noise, int(tail * wave.sample_rate))
+    return Waveform(
+        np.concatenate([lead_samples, wave.samples, tail_samples]),
+        wave.sample_rate,
+    )
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return VoiceActivityDetector()
+
+
+class TestVAD:
+    def test_detects_speech_in_padded_audio(self, detector):
+        speech = Synthesizer(seed=1).synthesize("set my alarm for eight am")
+        padded = _with_silence(speech)
+        segments = detector.segments(padded)
+        assert segments
+        # Speech should begin near the 0.5 s mark.
+        assert abs(segments[0].start - 0.5) < 0.25
+
+    def test_silence_has_low_speech_fraction(self, detector):
+        rng = np.random.default_rng(2)
+        silence = Waveform(rng.normal(0, 0.002, 2 * SAMPLE_RATE))
+        assert detector.speech_fraction(silence) < 0.5
+
+    def test_speech_has_high_fraction(self, detector):
+        speech = Synthesizer(seed=3).synthesize("what is the capital of italy")
+        assert detector.speech_fraction(speech) > 0.6
+
+    def test_trim_removes_padding(self, detector):
+        speech = Synthesizer(seed=4).synthesize("play some music")
+        padded = _with_silence(speech, lead=1.0, tail=1.0)
+        trimmed = detector.trim(padded)
+        assert trimmed.duration < padded.duration
+        assert trimmed.duration >= speech.duration * 0.6
+
+    def test_trimmed_audio_still_decodable(self, detector):
+        from repro.asr import (
+            BigramLanguageModel,
+            Decoder,
+            collect_training_data,
+            train_gmm_acoustic_model,
+        )
+
+        sentences = ["play some music now"]
+        data = collect_training_data(sentences, repetitions=3)
+        decoder = Decoder(train_gmm_acoustic_model(data), BigramLanguageModel(sentences))
+        speech = Synthesizer(seed=5).synthesize(sentences[0])
+        padded = _with_silence(speech, seed=5)
+        trimmed = detector.trim(padded, padding=0.1)
+        assert decoder.decode_waveform(trimmed).text == sentences[0]
+
+    def test_trim_on_pure_silence_is_noop_or_short(self, detector):
+        rng = np.random.default_rng(6)
+        silence = Waveform(rng.normal(0, 0.001, SAMPLE_RATE))
+        trimmed = detector.trim(silence)
+        assert len(trimmed) <= len(silence)
+
+    def test_segment_duration(self):
+        segment = SpeechSegment(0.5, 1.25)
+        assert segment.duration == pytest.approx(0.75)
+
+    def test_mask_length_matches_frames(self, detector):
+        wave = Synthesizer(seed=7).synthesize("set")
+        mask = detector.speech_mask(wave)
+        energies = detector.frame_energies_db(wave)
+        assert len(mask) == len(energies)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            VADConfig(frame_length=0)
+        with pytest.raises(ConfigurationError):
+            VADConfig(hangover_frames=-1)
+        with pytest.raises(ConfigurationError):
+            VADConfig(floor_percentile=100.0)
+
+    def test_hangover_bridges_short_gaps(self):
+        eager = VoiceActivityDetector(VADConfig(hangover_frames=0))
+        patient = VoiceActivityDetector(VADConfig(hangover_frames=10))
+        speech = Synthesizer(seed=8).synthesize("set my alarm for eight am")
+        padded = _with_silence(speech, seed=8)
+        assert len(patient.segments(padded)) <= len(eager.segments(padded))

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "hello there"])
+        assert args.text == "hello there"
+        assert args.asr_backend == "gmm"
+        assert args.image_scene is None
+
+    def test_suite_flags(self):
+        args = build_parser().parse_args(
+            ["suite", "--scale", "0.5", "--workers", "2", "--processes"]
+        )
+        assert args.scale == 0.5
+        assert args.workers == 2
+        assert args.processes is True
+
+    def test_wer_noise_list(self):
+        args = build_parser().parse_args(["wer", "--noise", "0.1", "0.2"])
+        assert args.noise == [0.1, 0.2]
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--asr-backend", "tpu"])
+
+
+class TestCommands:
+    def test_suite_command_runs(self, capsys):
+        assert main(["suite", "--scale", "0.02", "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "stemmer" in output and "Baseline" in output
+
+    def test_design_command_runs(self, capsys):
+        assert main(["design"]) == 0
+        output = capsys.readouterr().out
+        assert "Service speedups" in output
+        assert "residual gap" in output
+
+    def test_query_command_runs(self, capsys):
+        assert main(["query", "what is the capital of france"]) == 0
+        output = capsys.readouterr().out
+        assert "Paris" in output
+
+    def test_demo_command_limited(self, capsys):
+        assert main(["demo", "--limit", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "/2 fully correct" in output

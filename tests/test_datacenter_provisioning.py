@@ -1,0 +1,146 @@
+"""Tests for capacity planning and the discrete-event queue simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datacenter import (
+    CapacityPlanner,
+    WorkloadMix,
+    deterministic_sampler,
+    empirical_sampler,
+    exponential_sampler,
+    simulate_queue,
+    validate_mm1,
+)
+from repro.errors import ConfigurationError, DesignError
+from repro.platforms import CMP, FPGA, GPU, PHI, PLATFORMS
+
+
+class TestWorkloadMix:
+    def test_default_sums_to_one(self):
+        mix = WorkloadMix()
+        assert mix.vc + mix.vq + mix.viq == pytest.approx(1.0)
+
+    def test_bad_sum_rejected(self):
+        with pytest.raises(DesignError):
+            WorkloadMix(vc=0.5, vq=0.5, viq=0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(DesignError):
+            WorkloadMix(vc=1.2, vq=-0.2, viq=0.0)
+
+    def test_fraction_lookup(self):
+        mix = WorkloadMix(vc=0.2, vq=0.3, viq=0.5)
+        assert mix.fraction("VIQ") == 0.5
+
+
+class TestCapacityPlanner:
+    @pytest.fixture(scope="class")
+    def planner(self):
+        return CapacityPlanner()
+
+    @pytest.fixture(scope="class")
+    def mix(self):
+        return WorkloadMix()
+
+    def test_viq_costs_more_than_vc(self, planner):
+        for platform in PLATFORMS:
+            assert planner.query_service_time("VIQ", platform) > planner.query_service_time(
+                "VC", platform
+            )
+
+    def test_accelerators_need_fewer_servers_than_baseline(self, planner, mix):
+        cmp_plan = planner.plan(mix, 50.0, CMP)
+        for platform in (GPU, FPGA):
+            assert planner.plan(mix, 50.0, platform).n_servers < cmp_plan.n_servers
+
+    def test_phi_is_worst(self, planner, mix):
+        plans = {p: planner.plan(mix, 50.0, p) for p in PLATFORMS}
+        assert plans[PHI].monthly_cost == max(pl.monthly_cost for pl in plans.values())
+
+    def test_fpga_cheapest_for_default_mix(self, planner, mix):
+        # Consistent with Figure 18: FPGA has the lowest aggregate
+        # normalized TCO in our model.
+        assert planner.cheapest_platform(mix, 100.0).platform == FPGA
+
+    def test_servers_scale_linearly(self, planner, mix):
+        small = planner.plan(mix, 10.0, GPU).n_servers
+        large = planner.plan(mix, 100.0, GPU).n_servers
+        assert 8 * small <= large <= 12 * small
+
+    def test_power_capped_design_prefers_fpga(self, planner, mix):
+        # The paper: FPGA "is desirable for datacenters with power
+        # constraints ... capped power infrastructure support".
+        platform, load = planner.power_capped_design(mix, 50_000.0)
+        assert platform == FPGA
+        assert load > 0
+
+    def test_validation(self, planner, mix):
+        with pytest.raises(DesignError):
+            planner.plan(mix, 0.0, GPU)
+        with pytest.raises(DesignError):
+            planner.max_load_under_power_cap(mix, -5.0, GPU)
+        with pytest.raises(DesignError):
+            CapacityPlanner(headroom=0.0)
+
+    def test_cost_per_qps(self, planner, mix):
+        plan = planner.plan(mix, 100.0, FPGA)
+        assert plan.cost_per_qps == pytest.approx(plan.monthly_cost / 100.0)
+
+    @given(st.floats(1.0, 500.0))
+    @settings(deadline=None, max_examples=20)
+    def test_capacity_always_met(self, qps):
+        planner = CapacityPlanner()
+        mix = WorkloadMix()
+        plan = planner.plan(mix, qps, GPU)
+        assert plan.n_servers * planner.server_capacity_qps(mix, GPU) >= qps * 0.999
+
+
+class TestSimulator:
+    def test_mm1_agreement_moderate_load(self):
+        simulated, analytic = validate_mm1(service_time=1.0, load=0.5)
+        assert simulated == pytest.approx(analytic, rel=0.1)
+
+    def test_response_time_grows_with_load(self):
+        low, _ = validate_mm1(1.0, 0.2)
+        high, _ = validate_mm1(1.0, 0.8)
+        assert high > low
+
+    def test_md1_beats_mm1(self):
+        # Deterministic service halves queueing delay vs exponential (PK).
+        arrival = 0.7
+        exp = simulate_queue(arrival, exponential_sampler(1.0, seed=2), n_queries=20000)
+        det = simulate_queue(arrival, deterministic_sampler(1.0), n_queries=20000)
+        assert det.mean_waiting_time < exp.mean_waiting_time
+
+    def test_more_servers_reduce_waiting(self):
+        arrival = 1.5
+        one = simulate_queue(arrival, deterministic_sampler(1.0), n_servers=2, n_queries=5000)
+        many = simulate_queue(arrival, deterministic_sampler(1.0), n_servers=8, n_queries=5000)
+        assert many.mean_waiting_time <= one.mean_waiting_time
+
+    def test_empirical_sampler_uses_samples(self):
+        sampler = empirical_sampler([2.0], seed=1)
+        assert sampler() == 2.0
+
+    def test_p95_at_least_mean(self):
+        result = simulate_queue(0.5, exponential_sampler(1.0), n_queries=5000)
+        assert result.p95_response_time >= result.mean_response_time
+
+    def test_utilization_bounded(self):
+        result = simulate_queue(0.9, exponential_sampler(1.0), n_queries=5000)
+        assert 0 < result.utilization <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_queue(0.0, deterministic_sampler(1.0))
+        with pytest.raises(ConfigurationError):
+            simulate_queue(1.0, deterministic_sampler(1.0), n_servers=0)
+        with pytest.raises(ConfigurationError):
+            exponential_sampler(0.0)
+        with pytest.raises(ConfigurationError):
+            deterministic_sampler(-1.0)
+        with pytest.raises(ConfigurationError):
+            empirical_sampler([])
+        with pytest.raises(ConfigurationError):
+            validate_mm1(1.0, 1.5)

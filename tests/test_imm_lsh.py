@@ -1,0 +1,72 @@
+"""Tests for the LSH ANN index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ImageError
+from repro.imm.lsh import LSHIndex
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(1).normal(size=(300, 16))
+
+
+class TestLSHIndex:
+    def test_exact_duplicate_always_found(self, data):
+        index = LSHIndex(data, seed=2)
+        for row in (0, 57, 299):
+            _, ids = index.query(data[row], k=1)
+            assert len(ids) >= 1
+            assert ids[0] == row
+
+    def test_near_duplicate_recall_high(self, data):
+        index = LSHIndex(data, seed=3)
+        rng = np.random.default_rng(4)
+        hits = 0
+        for row in range(100):
+            query = data[row] + rng.normal(0, 0.05, data.shape[1])
+            _, ids = index.query(query, k=1)
+            hits += int(len(ids) > 0 and ids[0] == row)
+        assert hits >= 85
+
+    def test_distances_sorted(self, data):
+        index = LSHIndex(data, seed=5)
+        distances, _ = index.query(data[0], k=5)
+        assert list(distances) == sorted(distances)
+
+    def test_more_tables_more_candidates(self, data):
+        few = LSHIndex(data, n_tables=2, seed=6)
+        many = LSHIndex(data, n_tables=16, seed=6)
+        query = np.random.default_rng(7).normal(size=16)
+        assert len(many.candidates(query)) >= len(few.candidates(query))
+
+    def test_may_return_empty(self):
+        # A far-away query with tiny tables can miss every bucket.
+        data = np.zeros((4, 8)) + 100.0
+        index = LSHIndex(data, n_tables=1, n_bits=16, seed=8)
+        distances, ids = index.query(-100.0 * np.ones(8), k=1)
+        assert len(distances) == len(ids)
+
+    def test_validation(self, data):
+        with pytest.raises(ImageError):
+            LSHIndex(np.zeros((0, 4)))
+        with pytest.raises(ImageError):
+            LSHIndex(data, n_tables=0)
+        index = LSHIndex(data, seed=9)
+        with pytest.raises(ImageError):
+            index.query(np.zeros(3))
+        with pytest.raises(ImageError):
+            index.query(np.zeros(16), k=0)
+
+    def test_mean_bucket_size_positive(self, data):
+        assert LSHIndex(data, seed=10).mean_bucket_size() > 0
+
+    @given(st.integers(0, 299))
+    @settings(deadline=None, max_examples=25)
+    def test_self_query_property(self, row):
+        data = np.random.default_rng(11).normal(size=(300, 8))
+        index = LSHIndex(data, seed=12)
+        distances, ids = index.query(data[row], k=1)
+        assert ids[0] == row and distances[0] == pytest.approx(0.0)

@@ -1,0 +1,74 @@
+"""Tests for the roofline sanity model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platforms import CMP, FPGA, GPU, KERNEL_SPEEDUPS, PHI, PLATFORMS
+from repro.platforms.roofline import (
+    KERNEL_PROFILES,
+    KernelProfile,
+    attainable_gflops,
+    rank_correlation,
+    roofline_speedup_bound,
+    roofline_table,
+)
+
+
+class TestProfiles:
+    def test_all_seven_kernels_profiled(self):
+        assert set(KERNEL_PROFILES) == set(KERNEL_SPEEDUPS)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            KernelProfile("bad", operational_intensity=0.0, simd_friendliness=0.5)
+        with pytest.raises(ConfigurationError):
+            KernelProfile("bad", operational_intensity=1.0, simd_friendliness=0.0)
+
+    def test_dense_kernels_more_intense_than_string_kernels(self):
+        assert KERNEL_PROFILES["dnn"].operational_intensity > KERNEL_PROFILES["stemmer"].operational_intensity
+        assert KERNEL_PROFILES["fd"].operational_intensity > KERNEL_PROFILES["crf"].operational_intensity
+
+
+class TestRooflineBounds:
+    def test_attainable_positive_everywhere(self):
+        for kernel in KERNEL_PROFILES:
+            for platform in PLATFORMS:
+                assert attainable_gflops(kernel, platform) > 0
+
+    def test_branchy_kernels_worst_on_simd(self):
+        # The paper's Section 4.4.2 story: string kernels resist SIMD.
+        for platform in (GPU, PHI):
+            bounds = {k: roofline_speedup_bound(k, platform) for k in KERNEL_PROFILES}
+            worst_two = sorted(bounds, key=bounds.get)[:2]
+            assert set(worst_two) == {"stemmer", "crf"}
+
+    def test_fpga_not_penalized_for_branches(self):
+        # FPGA pipelines absorb branches: stemmer's FPGA bound beats its GPU bound.
+        assert roofline_speedup_bound("stemmer", FPGA) > roofline_speedup_bound("stemmer", GPU)
+
+    def test_dense_kernels_predict_order_of_magnitude_gains(self):
+        for kernel in ("dnn", "fd"):
+            assert roofline_speedup_bound(kernel, GPU) > 50
+
+    def test_gpu_rank_correlation_with_table5(self):
+        table = roofline_table()
+        predicted = [table[k][GPU] for k in KERNEL_PROFILES]
+        measured = [KERNEL_SPEEDUPS[k][GPU] for k in KERNEL_PROFILES]
+        assert rank_correlation(predicted, measured) > 0.6
+
+    def test_cmp_bounds_near_core_count(self):
+        # The pthread port cannot beat ~4x on a 4-core chip.
+        for kernel in KERNEL_PROFILES:
+            assert roofline_speedup_bound(kernel, CMP) <= 4.0 + 1e-9
+
+
+class TestRankCorrelation:
+    def test_perfect_agreement(self):
+        assert rank_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert rank_correlation([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rank_correlation([1.0], [2.0])

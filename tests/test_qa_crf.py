@@ -1,0 +1,161 @@
+"""Tests for the linear-chain CRF: inference math, training, tagging quality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.qa.crf import (
+    FeatureMap,
+    LinearChainCRF,
+    N_TAGS,
+    TAGS,
+    TaggedSentence,
+    default_model,
+    evaluate,
+    generate_corpus,
+    token_features,
+    train_crf,
+)
+from repro.qa.crf.model import _logsumexp
+
+
+class TestFeatureMap:
+    def test_interning_is_stable(self):
+        fmap = FeatureMap()
+        a = fmap.intern("w=the")
+        b = fmap.intern("w=cat")
+        assert fmap.intern("w=the") == a
+        assert a != b
+
+    def test_frozen_map_rejects_new(self):
+        fmap = FeatureMap()
+        fmap.intern("known")
+        fmap.freeze()
+        assert fmap.intern("known") == 0
+        assert fmap.intern("unknown") == -1
+        assert len(fmap) == 1
+
+
+class TestTokenFeatures:
+    def test_includes_word_identity(self):
+        features = token_features(["Hello"], 0)
+        assert "w=Hello" in features
+        assert "lower=hello" in features
+
+    def test_boundary_markers(self):
+        features = token_features(["a", "b"], 0)
+        assert "BOS" in features
+        features = token_features(["a", "b"], 1)
+        assert "EOS" in features and "prev=a" in features
+
+    def test_shape_features(self):
+        features = token_features(["44th"], 0)
+        assert "shape=dx" in features
+        assert "hasdigit" in features
+
+    def test_title_case(self):
+        assert "istitle" in token_features(["Italy"], 0)
+
+
+class TestLogSumExp:
+    def test_matches_naive(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert np.isclose(_logsumexp(values), np.log(np.exp(values).sum()))
+
+    def test_stable_for_large_values(self):
+        values = np.array([1000.0, 1000.0])
+        assert np.isclose(_logsumexp(values), 1000.0 + np.log(2.0))
+
+    @given(st.lists(st.floats(-50, 50), min_size=1, max_size=8))
+    def test_randomized(self, raw):
+        values = np.array(raw)
+        assert np.isclose(_logsumexp(values), np.log(np.exp(values).sum()), rtol=1e-9)
+
+
+class TestInference:
+    def test_empty_sentence(self):
+        model = LinearChainCRF()
+        assert model.decode([]) == []
+        assert model.marginals([]).shape == (0, N_TAGS)
+
+    def test_decode_length_matches(self):
+        model = LinearChainCRF()
+        tags = model.decode(["what", "is", "this"])
+        assert len(tags) == 3
+        assert all(tag in TAGS for tag in tags)
+
+    def test_marginals_are_distributions(self):
+        model = default_model()
+        marginals = model.marginals(["who", "was", "elected"])
+        assert marginals.shape == (3, N_TAGS)
+        assert np.allclose(marginals.sum(axis=1), 1.0)
+        assert (marginals >= 0).all()
+
+    def test_log_likelihood_nonpositive_normalization(self):
+        # exp(ll) is a probability, so ll <= 0 up to float fuzz.
+        model = default_model()
+        tokens = ("what", "is", "the", "capital", "?")
+        best = model.decode(tokens)
+        ll = model.log_likelihood(tokens, [TAGS.index(t) for t in best])
+        assert ll <= 1e-9
+
+    def test_log_likelihood_mismatched_lengths(self):
+        model = LinearChainCRF()
+        with pytest.raises(ModelError):
+            model.log_likelihood(["a", "b"], [0])
+
+    def test_viterbi_beats_other_paths(self):
+        # The Viterbi path's likelihood must be >= a perturbed path's.
+        model = default_model()
+        tokens = ("who", "wrote", "the", "book", "?")
+        best = model.decode(tokens)
+        best_ids = [TAGS.index(t) for t in best]
+        worse_ids = list(best_ids)
+        worse_ids[0] = (worse_ids[0] + 1) % N_TAGS
+        assert model.log_likelihood(tokens, best_ids) >= model.log_likelihood(
+            tokens, worse_ids
+        ) - 1e-9
+
+    def test_forward_backward_consistent_logz(self):
+        # logZ from alpha must equal logZ recomputed from beta side.
+        model = default_model()
+        tokens = ("the", "river", "is", "near", "Paris", ".")
+        from repro.qa.crf.features import extract_ids
+
+        emissions = model._emission_scores(extract_ids(tokens, model.feature_map))
+        alpha, beta, log_z = model.forward_backward(emissions)
+        log_z_from_beta = _logsumexp(model.start + emissions[0] + beta[0])
+        assert np.isclose(log_z, log_z_from_beta, rtol=1e-9)
+
+
+class TestTraining:
+    def test_corpus_is_deterministic(self):
+        assert generate_corpus(50) == generate_corpus(50)
+
+    def test_tagged_sentence_validates(self):
+        with pytest.raises(ValueError):
+            TaggedSentence(("a",), ("NOUN", "VERB"))
+
+    def test_training_improves_over_random(self):
+        corpus = generate_corpus(200)
+        untrained = LinearChainCRF()
+        baseline = evaluate(untrained, corpus[:50])
+        result = train_crf(corpus, epochs=3)
+        assert result.accuracy > baseline
+        assert result.accuracy > 0.9  # templates are highly learnable
+
+    def test_default_model_is_cached(self):
+        assert default_model() is default_model()
+
+    def test_default_model_tags_known_question(self):
+        tags = default_model().decode(("who", "was", "elected", "44th", "president", "?"))
+        assert tags[0] == "WH"
+        assert tags[-1] == "PUNCT"
+        assert "NUM" in tags
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.lists(st.sampled_from(["what", "is", "the", "capital", "Italy", "?"]), min_size=1, max_size=8))
+    def test_decode_total_on_arbitrary_token_sequences(self, tokens):
+        tags = default_model().decode(tokens)
+        assert len(tags) == len(tokens)

@@ -1,0 +1,72 @@
+"""Tests for QA evaluation metrics."""
+
+import pytest
+
+from repro.core import VOICE_QUERIES
+from repro.errors import ConfigurationError
+from repro.qa import QAEngine
+from repro.qa.evaluate import (
+    QAEvaluation,
+    QuestionVerdict,
+    answer_matches,
+    evaluate_qa,
+)
+
+
+class TestAnswerMatching:
+    def test_exact(self):
+        assert answer_matches("Rome", "Rome")
+
+    def test_containment_both_ways(self):
+        assert answer_matches("Rowling", "J K Rowling")
+        assert answer_matches("Barack Obama", "obama")
+        assert answer_matches("barack obama", "Barack Obama")
+
+    def test_case_and_punctuation_insensitive(self):
+        assert answer_matches("J.K. Rowling", "j k rowling")
+
+    def test_no_match(self):
+        assert not answer_matches("Rome", "Paris")
+
+    def test_empty(self):
+        assert not answer_matches("", "Rome")
+        assert not answer_matches("Rome", "")
+
+
+class TestMetrics:
+    def _verdict(self, rank):
+        return QuestionVerdict("q", "gold", "top", rank)
+
+    def test_accuracy_counts_rank_one(self):
+        evaluation = QAEvaluation((self._verdict(1), self._verdict(2), self._verdict(None)))
+        assert evaluation.accuracy == pytest.approx(1 / 3)
+
+    def test_mrr(self):
+        evaluation = QAEvaluation((self._verdict(1), self._verdict(2), self._verdict(None)))
+        assert evaluation.mrr == pytest.approx((1.0 + 0.5 + 0.0) / 3)
+
+    def test_answered_fraction(self):
+        evaluation = QAEvaluation((self._verdict(1), self._verdict(5), self._verdict(None)))
+        assert evaluation.answered == pytest.approx(2 / 3)
+
+    def test_failures_listed(self):
+        good, bad = self._verdict(1), self._verdict(3)
+        evaluation = QAEvaluation((good, bad))
+        assert evaluation.failures() == [bad]
+
+    def test_empty_evaluation(self):
+        evaluation = QAEvaluation(())
+        assert evaluation.accuracy == evaluation.mrr == evaluation.answered == 0.0
+
+
+class TestEndToEnd:
+    def test_input_set_questions_score_high(self):
+        engine = QAEngine()
+        evaluation = evaluate_qa(engine, list(VOICE_QUERIES))
+        assert evaluation.accuracy >= 0.85
+        assert evaluation.mrr >= evaluation.accuracy
+        assert evaluation.answered >= evaluation.accuracy
+
+    def test_requires_questions(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_qa(QAEngine(), [])

@@ -1,0 +1,82 @@
+"""Tests for the learned answer-type classifier."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.qa.qclassify import (
+    ANSWER_TYPES,
+    NaiveBayesClassifier,
+    generate_labeled_questions,
+    train_default_classifier,
+)
+from repro.qa.question import DATE, LOCATION, NUMBER, PERSON, classify_answer_type
+
+
+class TestNaiveBayes:
+    def test_untrained_rejects(self):
+        with pytest.raises(ModelError):
+            NaiveBayesClassifier().predict("who is this")
+        with pytest.raises(ModelError):
+            NaiveBayesClassifier().train([])
+
+    def test_learns_toy_problem(self):
+        classifier = NaiveBayesClassifier()
+        classifier.train(
+            [("who is she", PERSON)] * 5 + [("where is it", LOCATION)] * 5
+        )
+        assert classifier.predict("who was he") == PERSON
+        assert classifier.predict("where was it") == LOCATION
+
+    def test_posteriors_cover_all_trained_classes(self):
+        classifier = train_default_classifier()
+        posteriors = classifier.log_posteriors("who wrote the anthem")
+        assert set(posteriors) == set(ANSWER_TYPES)
+
+    def test_feature_extraction_marks_first_token(self):
+        feats = NaiveBayesClassifier.features("who wrote this")
+        assert "first=who" in feats
+        assert "bigram=who_wrote" in feats
+
+
+class TestGeneratedCorpus:
+    def test_deterministic(self):
+        assert generate_labeled_questions(10) == generate_labeled_questions(10)
+
+    def test_balanced(self):
+        examples = generate_labeled_questions(per_type=20)
+        from collections import Counter
+
+        counts = Counter(label for _, label in examples)
+        assert all(count == 20 for count in counts.values())
+        assert set(counts) == set(ANSWER_TYPES)
+
+
+class TestLearnedVsRules:
+    @pytest.fixture(scope="class")
+    def classifier(self):
+        return train_default_classifier()
+
+    def test_holdout_accuracy_high(self, classifier):
+        holdout = generate_labeled_questions(per_type=25, seed=999)
+        correct = sum(
+            classifier.predict(text) == label for text, label in holdout
+        )
+        assert correct / len(holdout) > 0.85
+
+    @pytest.mark.parametrize(
+        "question,expected",
+        [
+            ("who was elected president", PERSON),
+            ("where is las vegas", LOCATION),
+            ("how many rivers are there", NUMBER),
+            ("when did the moon landing happen", DATE),
+        ],
+    )
+    def test_agrees_with_rules_on_clear_cases(self, classifier, question, expected):
+        assert classifier.predict(question) == expected
+        assert classify_answer_type(question) == expected
+
+    def test_learned_generalizes_past_rule_keywords(self, classifier):
+        # No "who" keyword, but the learned model can still type it.
+        prediction = classifier.predict("which author wrote the famous anthem")
+        assert prediction in (PERSON, LOCATION)  # learned, not keyword-forced

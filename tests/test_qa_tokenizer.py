@@ -1,0 +1,90 @@
+"""Tests for tokenization utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.qa.tokenizer import (
+    ngrams,
+    remove_stopwords,
+    sentences,
+    tokenize,
+    tokenize_keep_case,
+)
+
+
+class TestTokenize:
+    def test_basic_question(self):
+        assert tokenize("Who was elected 44th president?") == [
+            "who", "was", "elected", "44th", "president",
+        ]
+
+    def test_strips_punctuation(self):
+        assert tokenize("hello, world!") == ["hello", "world"]
+
+    def test_keeps_internal_apostrophe(self):
+        assert tokenize("o'clock") == ["o'clock"]
+
+    def test_keeps_internal_hyphen(self):
+        assert tokenize("forty-four") == ["forty-four"]
+
+    def test_strips_edge_apostrophes(self):
+        assert tokenize("'quoted'") == ["quoted"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \t\n ") == []
+
+    def test_keep_case_variant(self):
+        assert tokenize_keep_case("Barack Obama") == ["Barack", "Obama"]
+
+    def test_numbers_survive(self):
+        assert tokenize("in 1969 there") == ["in", "1969", "there"]
+
+
+class TestSentences:
+    def test_splits_on_terminators(self):
+        parts = sentences("First one. Second one? Third!")
+        assert parts == ["First one.", "Second one?", "Third!"]
+
+    def test_abbreviation_period_not_followed_by_space(self):
+        # "3.14" should not split because '.' is not followed by whitespace.
+        assert sentences("pi is 3.14 exactly.") == ["pi is 3.14 exactly."]
+
+    def test_trailing_fragment_kept(self):
+        assert sentences("Done. trailing words") == ["Done.", "trailing words"]
+
+    def test_empty(self):
+        assert sentences("") == []
+
+
+class TestStopwordsAndNgrams:
+    def test_remove_stopwords(self):
+        tokens = tokenize("what is the capital of Italy")
+        assert remove_stopwords(tokens) == ["capital", "italy"]
+
+    def test_ngrams_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_ngrams_full_length(self):
+        assert ngrams(["a", "b"], 2) == [("a", "b")]
+
+    def test_ngrams_too_long(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_ngrams_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=3), max_size=10), st.integers(1, 4))
+    def test_ngram_count_invariant(self, tokens, n):
+        result = ngrams(tokens, n)
+        assert len(result) == max(0, len(tokens) - n + 1)
+        assert all(len(gram) == n for gram in result)
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=80))
+    def test_tokenize_outputs_lowercase_alnum(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+            assert any(c.isalnum() for c in token)

@@ -1,0 +1,202 @@
+"""Unit tests for the regex substrate (parser, NFA, engine)."""
+
+import pytest
+
+from repro.errors import RegexSyntaxError
+from repro.regex import Pattern, build_pattern_strings, build_sentences
+from repro.regex.ast import Alternate, CharClass, Concat, Literal, Repeat
+from repro.regex.parser import parse
+
+
+class TestParser:
+    def test_literal_sequence(self):
+        node = parse("abc")
+        assert isinstance(node, Concat)
+        assert [part.char for part in node.parts] == ["a", "b", "c"]
+
+    def test_alternation(self):
+        node = parse("a|b|c")
+        assert isinstance(node, Alternate)
+        assert len(node.options) == 3
+
+    def test_char_class_ranges(self):
+        node = parse("[a-cx]")
+        assert isinstance(node, CharClass)
+        assert node.contains("b")
+        assert node.contains("x")
+        assert not node.contains("d")
+
+    def test_negated_class(self):
+        node = parse("[^0-9]")
+        assert node.contains("a")
+        assert not node.contains("5")
+
+    def test_class_with_leading_bracket(self):
+        # ']' immediately after '[' is a literal member.
+        node = parse("[]a]")
+        assert node.contains("]")
+        assert node.contains("a")
+
+    def test_brace_quantifier(self):
+        node = parse("a{2,4}")
+        assert isinstance(node, Repeat)
+        assert (node.min, node.max) == (2, 4)
+
+    def test_brace_exact(self):
+        node = parse("a{3}")
+        assert (node.min, node.max) == (3, 3)
+
+    def test_brace_open_ended(self):
+        node = parse("a{2,}")
+        assert (node.min, node.max) == (2, None)
+
+    def test_literal_brace_not_quantifier(self):
+        node = parse("a{x}")
+        assert isinstance(node, Concat)
+
+    def test_escape_class(self):
+        assert Pattern(r"\d+").fullmatch("12345")
+
+    def test_unbalanced_paren_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(ab")
+
+    def test_stray_close_paren_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("ab)")
+
+    def test_dangling_quantifier_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("*a")
+
+    def test_reversed_range_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[z-a]")
+
+    def test_unterminated_class_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[abc")
+
+    def test_bad_interval_raises(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a{4,2}")
+
+
+class TestMatching:
+    def test_simple_search(self):
+        match = Pattern("world").search("hello world")
+        assert match is not None
+        assert match.span() == (6, 11)
+
+    def test_no_match_returns_none(self):
+        assert Pattern("xyz").search("hello") is None
+
+    def test_star_is_greedy(self):
+        match = Pattern("a*").match("aaab")
+        assert match.group() == "aaa"
+
+    def test_plus_requires_one(self):
+        assert Pattern("a+").search("bbb") is None
+        assert Pattern("a+").search("bab").group() == "a"
+
+    def test_optional(self):
+        assert Pattern("colou?r").fullmatch("color")
+        assert Pattern("colou?r").fullmatch("colour")
+
+    def test_dot_excludes_newline(self):
+        assert Pattern("a.b").search("a\nb") is None
+        assert Pattern("a.b").search("axb")
+
+    def test_anchors(self):
+        pattern = Pattern("^abc$")
+        assert pattern.fullmatch("abc")
+        assert pattern.search("xabc") is None
+        assert pattern.search("abcx") is None
+
+    def test_start_anchor_mid_pattern(self):
+        assert Pattern("^ab").search("zab") is None
+
+    def test_end_anchor(self):
+        assert Pattern(r"\?$").test("how many?")
+        assert not Pattern(r"\?$").test("how? many")
+
+    def test_alternation_longest(self):
+        match = Pattern("ab|abc").match("abcd")
+        assert match.group() == "abc"
+
+    def test_interval_quantifier(self):
+        pattern = Pattern("a{2,3}")
+        assert pattern.fullmatch("aa")
+        assert pattern.fullmatch("aaa")
+        assert pattern.fullmatch("aaaa") is None
+        assert pattern.search("a") is None
+
+    def test_nested_groups(self):
+        assert Pattern("(ab(c|d))+").fullmatch("abcabd")
+
+    def test_word_boundary_free_classes(self):
+        assert Pattern(r"[A-Z][a-z]+").search("in Italy now").group() == "Italy"
+
+    def test_findall_non_overlapping(self):
+        assert Pattern("aa").findall("aaaa") == ["aa", "aa"]
+
+    def test_findall_with_empty_match_advances(self):
+        # 'a*' matches empty at every position; must terminate.
+        results = Pattern("a*").findall("ba")
+        assert "a" in results
+
+    def test_finditer_positions(self):
+        spans = [m.span() for m in Pattern(r"\d+").finditer("a12b345c")]
+        assert spans == [(1, 3), (4, 7)]
+
+    def test_count(self):
+        assert Pattern("is").count("this is his") == 3
+
+    def test_leftmost_longest_search(self):
+        match = Pattern("a+").search("baaa")
+        assert match.span() == (1, 4)
+
+    def test_fullmatch_rejects_partial(self):
+        assert Pattern("abc").fullmatch("abcd") is None
+
+    def test_escaped_metachars(self):
+        assert Pattern(r"\$\d+\.\d\d").search("cost $12.50 total").group() == "$12.50"
+
+    def test_case_sensitive(self):
+        assert Pattern("Who").test("Who was") is True
+        assert Pattern("Who").test("who was") is False
+
+    def test_no_catastrophic_backtracking(self):
+        # Classic exponential-blowup pattern for backtrackers; the NFA
+        # simulation must finish instantly.
+        pattern = Pattern("(a|a)*c$")
+        assert pattern.search("a" * 40 + "b") is None
+
+    def test_match_at_offset(self):
+        match = Pattern("bc").match("abcd", pos=1)
+        assert match is not None and match.group() == "bc"
+
+    def test_state_count_linear(self):
+        assert Pattern("abcde").state_count < 30
+
+
+class TestInputSet:
+    def test_pattern_set_size(self):
+        assert len(build_pattern_strings()) == 100
+
+    def test_all_patterns_compile(self):
+        for text in build_pattern_strings():
+            Pattern(text)
+
+    def test_sentences_deterministic(self):
+        assert build_sentences(50) == build_sentences(50)
+
+    def test_sentence_count(self):
+        assert len(build_sentences()) == 400
+
+    def test_patterns_hit_sentences(self):
+        from repro.regex.patterns import build_patterns, match_all
+
+        patterns = build_patterns(20)
+        sentences = build_sentences(50)
+        assert match_all(patterns, sentences) > 0

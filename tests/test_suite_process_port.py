@@ -1,0 +1,49 @@
+"""Tests for the process-based (true-multicore) kernel ports.
+
+Note: the CI container may expose a single core, so these tests verify
+correctness (checksum equality with the baseline), never speedup.
+"""
+
+import pytest
+
+from repro.suite import KERNEL_CLASSES, chunk_ranges
+
+
+@pytest.mark.parametrize("kernel_cls", KERNEL_CLASSES, ids=lambda c: c.name)
+class TestSubset:
+    def test_subsets_partition_work(self, kernel_cls):
+        kernel = kernel_cls()
+        inputs = kernel.prepare(0.1)
+        total = kernel.count_items(inputs)
+        ranges = chunk_ranges(total, 3)
+        pieces = [kernel.subset(inputs, chunk) for chunk in ranges]
+        assert sum(kernel.count_items(piece) for piece in pieces) == total
+
+    def test_subset_checksums_sum_to_baseline(self, kernel_cls):
+        kernel = kernel_cls()
+        inputs = kernel.prepare(0.1)
+        ranges = chunk_ranges(kernel.count_items(inputs), 3)
+        partial = sum(kernel.run(kernel.subset(inputs, chunk)) for chunk in ranges)
+        assert partial == pytest.approx(kernel.run(inputs), rel=1e-9)
+
+
+@pytest.mark.parametrize(
+    "kernel_cls",
+    [cls for cls in KERNEL_CLASSES if cls.name in ("stemmer", "gmm", "crf")],
+    ids=lambda c: c.name,
+)
+def test_process_port_matches_baseline(kernel_cls):
+    kernel = kernel_cls()
+    inputs = kernel.prepare(0.05)
+    baseline = kernel.run(inputs)
+    processed = kernel.run_parallel_processes(inputs, workers=2)
+    assert processed == pytest.approx(baseline, rel=1e-9)
+
+
+def test_execute_with_processes_flag():
+    from repro.suite import kernel_by_name
+
+    kernel = kernel_by_name("stemmer")
+    inputs = kernel.prepare(0.05)
+    run = kernel.execute(inputs=inputs, workers=2, use_processes=True)
+    assert run.checksum == pytest.approx(kernel.run(inputs))
