@@ -63,8 +63,9 @@ class ForcedAligner:
         self.feature_extractor = (
             feature_extractor if feature_extractor is not None else FeatureExtractor()
         )
-        self.log_self = float(np.log(self_loop_prob))
-        self.log_adv = float(np.log(1.0 - self_loop_prob))
+        # self_loop_prob is validated to lie strictly inside (0, 1) above.
+        self.log_self = float(np.log(self_loop_prob))  # statcheck: ignore[SC101]
+        self.log_adv = float(np.log(1.0 - self_loop_prob))  # statcheck: ignore[SC101]
 
     def _build_chain(self, words: Sequence[str]) -> Tuple[List[int], List[int], List[bool]]:
         """(emission state ids, word index per state, optional-skip flags).

@@ -76,7 +76,7 @@ class Synthesizer:
         duration = duration if duration is not None else self.phone_duration
         n = max(int(duration * SAMPLE_RATE), 1)
         t = np.arange(n) / SAMPLE_RATE
-        signal = np.zeros(n)
+        signal = np.zeros(n, dtype=np.float64)
         amplitudes = (1.0, 0.7, 0.4)
         if phoneme.voiced:
             for formant, amplitude in zip(phoneme.formants, amplitudes):

@@ -135,8 +135,9 @@ class Decoder:
         )
         self.lm_weight = lm_weight
         self.insertion_penalty = insertion_penalty
-        self.log_self = math.log(self_loop_prob)
-        self.log_adv = math.log(1.0 - self_loop_prob)
+        # self_loop_prob is validated to lie strictly inside (0, 1) above.
+        self.log_self = math.log(self_loop_prob)  # statcheck: ignore[SC101]
+        self.log_adv = math.log(1.0 - self_loop_prob)  # statcheck: ignore[SC101]
         self.beam = beam
 
         self._graph = _build_graph(self.vocabulary)

@@ -19,6 +19,10 @@ from repro.errors import ModelError
 
 _LOG_2PI = float(np.log(2.0 * np.pi))
 
+#: Mixture weights never reach zero in EM (counts get +1e-10), but a
+#: degenerate component must clamp to a finite log weight, not -inf.
+_WEIGHT_FLOOR = np.finfo(np.float64).tiny
+
 
 @dataclass
 class DiagonalGMM:
@@ -133,7 +137,7 @@ def fit_gmm(
     weights = np.full(n_components, 1.0 / n_components)
 
     for _ in range(n_iterations):
-        gmm = DiagonalGMM(means, 1.0 / variances, np.log(weights))
+        gmm = DiagonalGMM(means, 1.0 / variances, np.log(np.maximum(weights, _WEIGHT_FLOOR)))
         log_resp = gmm.component_log_likelihood(data)
         peak = log_resp.max(axis=1, keepdims=True)
         resp = np.exp(log_resp - peak)
@@ -145,4 +149,4 @@ def fit_gmm(
         squared = (resp.T @ (data * data)) / counts[:, None]
         variances = np.maximum(squared - means**2, min_variance)
 
-    return DiagonalGMM(means, 1.0 / variances, np.log(weights))
+    return DiagonalGMM(means, 1.0 / variances, np.log(np.maximum(weights, _WEIGHT_FLOOR)))

@@ -7,14 +7,20 @@ Subcommands::
     repro suite [--scale 0.25] [--workers 4]
     repro design
     repro wer [--noise 0.0 0.05 0.1]
+    repro lint [paths ...] [--format json] [--fail-on warning]
 
 Run as ``python -m repro.cli <subcommand>`` (or the ``sirius-repro``
 console script once installed).
+
+Exit codes: 0 on success, 1 when ``lint`` reports findings, 2 when a
+command fails with a :class:`repro.errors.SiriusError` (the error prints
+as ``error[CODE]: message`` on stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -125,6 +131,12 @@ def _cmd_wer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.statcheck.cli import run_lint
+
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="sirius-repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -154,13 +166,32 @@ def build_parser() -> argparse.ArgumentParser:
     wer.add_argument("--noise", type=float, nargs="+",
                      default=[0.0, 0.05, 0.1, 0.2])
     wer.set_defaults(func=_cmd_wer)
+
+    lint = sub.add_parser(
+        "lint", help="run the statcheck static analyzer over the codebase"
+    )
+    from repro.statcheck.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.errors import SiriusError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SiriusError as exc:
+        print(f"error[{exc.code}]: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout closed early (e.g. `repro lint | head`); exit quietly.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

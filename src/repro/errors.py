@@ -2,6 +2,11 @@
 
 Every package raises subclasses of :class:`SiriusError` so callers can catch
 library failures without masking programming errors (``TypeError`` etc.).
+
+Each class carries a stable, machine-readable ``code`` attribute so CLI
+surfaces and logs can classify failures without string-matching messages
+(e.g. ``repro lint`` exits 2 and prints ``error[STATCHECK]: ...`` when the
+analyzer itself fails, versus exit 1 for genuine findings).
 """
 
 from __future__ import annotations
@@ -10,13 +15,20 @@ from __future__ import annotations
 class SiriusError(Exception):
     """Base class for all errors raised by this library."""
 
+    #: Stable machine-readable error code; subclasses override.
+    code = "SIRIUS"
+
 
 class ConfigurationError(SiriusError):
     """A component was configured with invalid or inconsistent parameters."""
 
+    code = "CONFIG"
+
 
 class RegexSyntaxError(SiriusError):
     """A regular-expression pattern could not be parsed."""
+
+    code = "REGEX_SYNTAX"
 
     def __init__(self, message: str, pattern: str, position: int):
         super().__init__(f"{message} (pattern={pattern!r}, pos={position})")
@@ -27,18 +39,39 @@ class RegexSyntaxError(SiriusError):
 class DecodingError(SiriusError):
     """ASR decoding failed (empty lattice, no surviving beam path, ...)."""
 
+    code = "DECODING"
+
 
 class ModelError(SiriusError):
     """A statistical model was used before training or with bad shapes."""
+
+    code = "MODEL"
 
 
 class ImageError(SiriusError):
     """Image-matching input was malformed (wrong dtype, empty image, ...)."""
 
+    code = "IMAGE"
+
 
 class QueryError(SiriusError):
     """An IPA query was malformed or unsupported by the pipeline."""
 
+    code = "QUERY"
+
 
 class DesignError(SiriusError):
     """Datacenter design-space search was given infeasible constraints."""
+
+    code = "DESIGN"
+
+
+class StatcheckError(SiriusError):
+    """The statcheck analyzer was misconfigured or could not run.
+
+    Raised for analyzer-side failures (malformed baseline, unknown rule
+    code, unreadable path) — never for findings in the analyzed code, which
+    are reported as :class:`repro.statcheck.Finding` objects instead.
+    """
+
+    code = "STATCHECK"

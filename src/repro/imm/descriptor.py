@@ -97,12 +97,12 @@ def describe_keypoint(
     cy, cx = keypoint.y, keypoint.x
     haar_size = 2 * scale
 
-    descriptor = np.zeros(DESCRIPTOR_SIZE)
+    descriptor = np.zeros(DESCRIPTOR_SIZE, dtype=np.float64)
     index = 0
     # 4x4 subregions, each sampled at 5x5 points spaced by `scale`.
     for sub_y in range(4):
         for sub_x in range(4):
-            sums = np.zeros(4)  # dx, |dx|, dy, |dy|
+            sums = np.zeros(4, dtype=np.float64)  # dx, |dx|, dy, |dy|
             for sample_y in range(5):
                 for sample_x in range(5):
                     # Offset in the keypoint's (rotated) frame, in pixels.

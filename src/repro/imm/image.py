@@ -80,7 +80,7 @@ class SceneGenerator:
     def scene(self, index: int) -> Image:
         """The ``index``-th scene; same index always yields the same image."""
         rng = np.random.default_rng(self._seed * 10_007 + index)
-        pixels = np.zeros((self.height, self.width))
+        pixels = np.zeros((self.height, self.width), dtype=np.float64)
 
         # Smooth background gradient.
         yy, xx = np.mgrid[0 : self.height, 0 : self.width]

@@ -81,7 +81,7 @@ class LinearChainCRF:
         emissions = self._emission_scores(feature_ids)
         length = len(tokens)
 
-        delta = np.empty((length, self.n_tags))
+        delta = np.empty((length, self.n_tags), dtype=np.float64)
         backpointer = np.zeros((length, self.n_tags), dtype=np.int64)
         delta[0] = self.start + emissions[0]
         for t in range(1, length):

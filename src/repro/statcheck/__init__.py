@@ -1,0 +1,51 @@
+"""statcheck: a Sirius-aware static-analysis pass.
+
+An AST-based linter purpose-built for this codebase's failure modes —
+numeric stability in the log-space kernels, hot-path allocation hygiene,
+thread/process safety of the pthread-analog ports, and the
+``repro.errors`` API contract.  See ``docs/STATCHECK.md`` for the rule
+catalogue and ``repro lint --help`` for the CLI.
+
+Programmatic use::
+
+    from repro.statcheck import analyze_paths
+    reports = analyze_paths(["src/repro"])
+    findings = [f for report in reports for f in report.findings]
+"""
+
+from repro.statcheck.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.statcheck.core import (
+    PARSE_ERROR_CODE,
+    FileReport,
+    Finding,
+    Rule,
+    RuleContext,
+    Severity,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    discover_files,
+)
+from repro.statcheck.reporters import render_json, render_text
+from repro.statcheck.rules import RULE_CLASSES, RULE_CODES, all_rules, select_rules
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "FileReport",
+    "Finding",
+    "PARSE_ERROR_CODE",
+    "RULE_CLASSES",
+    "RULE_CODES",
+    "Rule",
+    "RuleContext",
+    "Severity",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "discover_files",
+    "render_json",
+    "render_text",
+    "select_rules",
+]

@@ -1,0 +1,89 @@
+"""Baseline file support: grandfather legacy findings without hiding new ones.
+
+The baseline is a committed JSON file mapping finding fingerprints
+(``path::code::source-line``) to occurrence counts.  Fingerprints use the
+source text rather than line numbers, so unrelated edits above a finding do
+not invalidate the baseline.  Matching *consumes* counts: if a file gains a
+second copy of a baselined defect, the new copy is reported.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import StatcheckError
+from repro.statcheck.core import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "statcheck-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline: fingerprint -> allowed occurrence count."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    path: str = ""
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        file_path = Path(path)
+        try:
+            raw = json.loads(file_path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise StatcheckError(f"cannot read baseline {file_path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise StatcheckError(
+                f"baseline {file_path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+            raise StatcheckError(
+                f"baseline {file_path} has unsupported format "
+                f"(expected version {BASELINE_VERSION})"
+            )
+        findings = raw.get("findings", {})
+        if not isinstance(findings, dict) or not all(
+            isinstance(k, str) and isinstance(v, int) and v > 0
+            for k, v in findings.items()
+        ):
+            raise StatcheckError(
+                f"baseline {file_path}: 'findings' must map fingerprints to "
+                "positive counts"
+            )
+        return cls(counts=dict(findings), path=str(file_path))
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (new, baselined), consuming baseline counts."""
+        remaining = dict(self.counts)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined
+
+    @staticmethod
+    def write(path, findings: Sequence[Finding]) -> None:
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            counts[finding.fingerprint] = counts.get(finding.fingerprint, 0) + 1
+        payload = {
+            "version": BASELINE_VERSION,
+            "comment": (
+                "Grandfathered statcheck findings. Shrink me; never grow me "
+                "without a review. Regenerate: repro lint --write-baseline"
+            ),
+            "findings": dict(sorted(counts.items())),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )

@@ -1,0 +1,140 @@
+"""Implementation of the ``repro lint`` subcommand.
+
+Exit codes (enforced by :func:`repro.cli.main`):
+
+- ``0`` — clean (no finding at or above the ``--fail-on`` threshold)
+- ``1`` — findings at or above the threshold
+- ``2`` — the analyzer itself failed (bad baseline, unknown rule code,
+  missing path, ...): a :class:`repro.errors.StatcheckError` with a stable
+  ``code`` attribute propagates to the top-level CLI handler.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import List, Optional
+
+from repro.statcheck.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.statcheck.core import Finding, Severity, analyze_paths
+from repro.statcheck.reporters import render_json, render_text
+from repro.statcheck.rules import all_rules, select_rules
+
+
+def list_rules_text() -> str:
+    lines = ["code   sev      name                        summary"]
+    for rule in all_rules():
+        lines.append(
+            f"{rule.code:6s} {rule.severity.label:8s} {rule.name:27s} "
+            f"{rule.summary}"
+        )
+    lines.append(
+        "SC001  error    parse-error                 file does not parse "
+        "(emitted by the framework)"
+    )
+    return "\n".join(lines)
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Optional[Baseline]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Baseline.load(args.baseline)
+    if os.path.exists(DEFAULT_BASELINE_NAME):
+        return Baseline.load(DEFAULT_BASELINE_NAME)
+    return None
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Entry point called by ``repro lint``; returns the process exit code."""
+    if args.list_rules:
+        print(list_rules_text())
+        return 0
+
+    rules = (
+        select_rules(args.select.split(",")) if args.select else all_rules()
+    )
+    reports = analyze_paths(args.paths, rules)
+    findings: List[Finding] = []
+    suppressed = 0
+    for report in reports:
+        findings.extend(report.findings)
+        suppressed += len(report.suppressed)
+
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE_NAME
+        Baseline.write(target, findings)
+        print(
+            f"statcheck: wrote {len(findings)} finding(s) to baseline {target}"
+        )
+        return 0
+
+    baseline = _resolve_baseline(args)
+    if baseline is not None:
+        new_findings, baselined = baseline.partition(findings)
+    else:
+        new_findings, baselined = findings, []
+
+    renderer = render_json if args.format == "json" else render_text
+    print(
+        renderer(
+            new_findings,
+            files_scanned=len(reports),
+            baselined=len(baselined),
+            suppressed=suppressed,
+        )
+    )
+
+    threshold = Severity.from_label(args.fail_on)
+    failing = [f for f in new_findings if f.severity >= threshold]
+    return 1 if failing else 0
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach ``repro lint``'s options to an argparse subparser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=tuple(s.label for s in Severity),
+        default="info",
+        help="exit 1 if any finding is at or above this severity "
+        "(default: info, i.e. any finding fails)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )

@@ -1,0 +1,412 @@
+"""statcheck core: findings, the ``Rule`` base class, and the AST walker.
+
+The framework is deliberately small.  A :class:`Rule` subclass declares
+``visit_<NodeType>`` methods (mirroring :class:`ast.NodeVisitor` naming);
+:func:`analyze_source` parses a module once and walks the tree, dispatching
+every node to each rule that registered interest in that node type.  Rules
+see a :class:`RuleContext` carrying the ancestor chain (am I inside a loop?
+inside a kernel ``run`` method?) and report :class:`Finding` objects.
+
+Inline suppression uses a pragma comment on the offending line::
+
+    value = np.log(prob)  # statcheck: ignore[SC101]
+    value = np.log(prob)  # statcheck: ignore          (all rules)
+
+Findings on files that fail to parse are reported under the pseudo-code
+``SC001`` rather than crashing the analyzer; genuine analyzer
+misconfiguration raises :class:`repro.errors.StatcheckError` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import StatcheckError
+
+#: Pseudo rule code for files the analyzer could not parse.
+PARSE_ERROR_CODE = "SC001"
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordered so thresholds compare naturally."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_label(cls, label: str) -> "Severity":
+        try:
+            return cls[label.upper()]
+        except KeyError:
+            valid = ", ".join(s.label for s in cls)
+            raise StatcheckError(
+                f"unknown severity {label!r} (expected one of: {valid})"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    severity: Severity
+    message: str
+    #: Stripped text of the offending source line (baseline fingerprinting).
+    source: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline file."""
+        return f"{self.path}::{self.code}::{self.source}"
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} {self.severity.label}: {self.message}"
+        )
+
+
+class Rule:
+    """Base class for statcheck rules.
+
+    Subclasses set the class attributes below and define any number of
+    ``visit_<NodeType>(node, ctx)`` methods; the walker dispatches each AST
+    node to every rule holding a matching method.
+    """
+
+    #: Stable rule code, e.g. ``"SC101"``.
+    code: str = ""
+    #: Kebab-case short name, e.g. ``"unguarded-prob-log"``.
+    name: str = ""
+    severity: Severity = Severity.WARNING
+    #: One-line summary (``--list-rules``, docs).
+    summary: str = ""
+    #: Why the pattern is a defect in *this* codebase (docs).
+    rationale: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Rule {self.code} {self.name}>"
+
+
+class RuleContext:
+    """Per-file state shared by all rules during one walk."""
+
+    def __init__(self, path: str, source_lines: Sequence[str], tree: ast.AST):
+        self.path = path
+        self.source_lines = source_lines
+        self.tree = tree
+        self.findings: List[Finding] = []
+        self._ancestors: List[ast.AST] = []
+
+    # -- tree navigation -----------------------------------------------------
+
+    def ancestors(self) -> Tuple[ast.AST, ...]:
+        """Ancestors of the node currently being visited, root first."""
+        return tuple(self._ancestors)
+
+    def in_loop(self) -> bool:
+        """Is the current node lexically inside a ``for``/``while`` body?"""
+        return any(isinstance(a, (ast.For, ast.While)) for a in self._ancestors)
+
+    def enclosing(self, *types: Type[ast.AST]) -> Optional[ast.AST]:
+        for ancestor in reversed(self._ancestors):
+            if isinstance(ancestor, types):
+                return ancestor
+        return None
+
+    def enclosing_function(self) -> Optional[ast.AST]:
+        return self.enclosing(ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def enclosing_class(self) -> Optional[ast.ClassDef]:
+        node = self.enclosing(ast.ClassDef)
+        return node if isinstance(node, ast.ClassDef) else None
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.source_lines):
+            return self.source_lines[lineno - 1]
+        return ""
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(
+        self,
+        rule: Rule,
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=line,
+                col=col,
+                code=rule.code,
+                severity=severity if severity is not None else rule.severity,
+                message=message,
+                source=self.source_line(line).strip(),
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# AST helpers shared by the rule catalogue
+# ---------------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted name of a callee: ``np.log``, ``pool.map``, ...
+
+    Intermediate calls collapse to ``()`` (``get_context().Pool`` becomes
+    ``().Pool``); anything unresolvable yields ``""``.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif isinstance(node, ast.Call):
+        parts.append("()")
+    elif parts:
+        parts.append("")
+    else:
+        return ""
+    return ".".join(reversed(parts))
+
+
+def normalized_call(node: ast.AST) -> str:
+    """Dotted callee name with the ``numpy.`` prefix folded to ``np.``."""
+    name = dotted_name(node)
+    if name.startswith("numpy."):
+        return "np." + name[len("numpy."):]
+    return name
+
+
+def identifiers(node: ast.AST) -> Iterator[str]:
+    """Lowercased identifiers (names and attribute parts) in a subtree."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id.lower()
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr.lower()
+
+
+_SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def scope_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root``'s own scope: nested def/class nodes are yielded but not
+    entered, so a rule analyzing one function never double-counts children
+    that belong to an inner function's scope."""
+    stack: List[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_BARRIERS):
+                yield child
+            else:
+                stack.append(child)
+
+
+# ---------------------------------------------------------------------------
+# Suppression pragmas
+# ---------------------------------------------------------------------------
+
+_PRAGMA = re.compile(
+    r"#\s*statcheck:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]*)\])?"
+)
+
+
+def parse_suppressions(
+    source_lines: Sequence[str],
+) -> Dict[int, Optional[frozenset]]:
+    """Map line number -> suppressed codes (``None`` means all codes)."""
+    pragmas: Dict[int, Optional[frozenset]] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        if "statcheck" not in text:
+            continue
+        match = _PRAGMA.search(text)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            pragmas[lineno] = None
+        else:
+            pragmas[lineno] = frozenset(
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            )
+    return pragmas
+
+
+def _is_suppressed(
+    finding: Finding, pragmas: Dict[int, Optional[frozenset]]
+) -> bool:
+    codes = pragmas.get(finding.line, frozenset())
+    if codes is None:  # bare ``ignore`` pragma
+        return True
+    return finding.code in codes
+
+
+# ---------------------------------------------------------------------------
+# Analysis entry points
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FileReport:
+    """Outcome of analyzing one file."""
+
+    path: str
+    findings: List[Finding]
+    suppressed: List[Finding]
+
+
+class _Walker(ast.NodeVisitor):
+    def __init__(self, rules: Sequence[Rule], ctx: RuleContext):
+        self._ctx = ctx
+        self._handlers: Dict[type, List[Callable]] = {}
+        for rule in rules:
+            for attr in dir(rule):
+                if not attr.startswith("visit_"):
+                    continue
+                node_type = getattr(ast, attr[len("visit_"):], None)
+                if isinstance(node_type, type) and issubclass(node_type, ast.AST):
+                    self._handlers.setdefault(node_type, []).append(
+                        getattr(rule, attr)
+                    )
+
+    def visit(self, node: ast.AST) -> None:
+        for handler in self._handlers.get(type(node), ()):
+            handler(node, self._ctx)
+        self._ctx._ancestors.append(node)
+        try:
+            for child in ast.iter_child_nodes(node):
+                self.visit(child)
+        finally:
+            self._ctx._ancestors.pop()
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> FileReport:
+    """Run the rule catalogue over one module's source text."""
+    if rules is None:
+        from repro.statcheck.rules import all_rules
+
+        rules = all_rules()
+    source_lines = source.splitlines()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        lineno = exc.lineno or 1
+        finding = Finding(
+            path=path,
+            line=lineno,
+            col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+            code=PARSE_ERROR_CODE,
+            severity=Severity.ERROR,
+            message=f"file does not parse: {exc.msg}",
+            source=(
+                source_lines[lineno - 1].strip()
+                if 1 <= lineno <= len(source_lines)
+                else ""
+            ),
+        )
+        return FileReport(path=path, findings=[finding], suppressed=[])
+
+    ctx = RuleContext(path, source_lines, tree)
+    _Walker(rules, ctx).visit(tree)
+
+    pragmas = parse_suppressions(source_lines)
+    seen = set()
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in sorted(
+        ctx.findings, key=lambda f: (f.line, f.col, f.code)
+    ):
+        key = (finding.line, finding.col, finding.code)
+        if key in seen:  # overlapping-scope rules may fire twice on one site
+            continue
+        seen.add(key)
+        if _is_suppressed(finding, pragmas):
+            suppressed.append(finding)
+        else:
+            findings.append(finding)
+    return FileReport(path=path, findings=findings, suppressed=suppressed)
+
+
+def analyze_file(
+    file_path: Path,
+    rules: Optional[Sequence[Rule]] = None,
+    display_path: Optional[str] = None,
+) -> FileReport:
+    """Analyze one file on disk; unreadable files raise StatcheckError."""
+    try:
+        source = Path(file_path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise StatcheckError(f"cannot read {file_path}: {exc}") from exc
+    return analyze_source(source, display_path or str(file_path), rules)
+
+
+def discover_files(paths: Iterable) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not any(
+                    part.startswith(".") or part == "__pycache__"
+                    for part in candidate.parts
+                )
+            )
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise StatcheckError(f"path does not exist: {path}")
+    unique: List[Path] = []
+    seen = set()
+    for candidate in files:
+        if candidate not in seen:
+            seen.add(candidate)
+            unique.append(candidate)
+    return unique
+
+
+def analyze_paths(
+    paths: Iterable,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[FileReport]:
+    """Analyze every ``.py`` file under the given files/directories."""
+    import os
+
+    reports = []
+    cwd = os.getcwd()
+    for file_path in discover_files(paths):
+        try:
+            display = os.path.relpath(file_path, cwd)
+        except ValueError:  # different drive (Windows); keep absolute
+            display = str(file_path)
+        display = display.replace(os.sep, "/")
+        reports.append(analyze_file(file_path, rules, display_path=display))
+    return reports

@@ -1,0 +1,72 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.statcheck.core import Finding, Severity
+
+
+def severity_counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts = {severity.label: 0 for severity in Severity}
+    for finding in findings:
+        counts[finding.severity.label] += 1
+    return counts
+
+
+def render_text(
+    findings: Sequence[Finding],
+    files_scanned: int,
+    baselined: int = 0,
+    suppressed: int = 0,
+) -> str:
+    lines: List[str] = [finding.render() for finding in findings]
+    counts = severity_counts(findings)
+    breakdown = ", ".join(
+        f"{count} {label}"
+        for label, count in counts.items()
+        if count
+    )
+    summary = (
+        f"statcheck: {len(findings)} finding(s)"
+        + (f" ({breakdown})" if breakdown else "")
+        + f" in {files_scanned} file(s)"
+    )
+    extras = []
+    if baselined:
+        extras.append(f"{baselined} baselined")
+    if suppressed:
+        extras.append(f"{suppressed} suppressed inline")
+    if extras:
+        summary += f"; {', '.join(extras)}"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    files_scanned: int,
+    baselined: int = 0,
+    suppressed: int = 0,
+) -> str:
+    payload = {
+        "version": 1,
+        "files_scanned": files_scanned,
+        "counts": severity_counts(findings),
+        "baselined": baselined,
+        "suppressed": suppressed,
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "code": finding.code,
+                "severity": finding.severity.label,
+                "message": finding.message,
+                "source": finding.source,
+            }
+            for finding in findings
+        ],
+    }
+    return json.dumps(payload, indent=2)

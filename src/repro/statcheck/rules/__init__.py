@@ -1,0 +1,88 @@
+"""The statcheck rule catalogue.
+
+Rules are grouped by failure class:
+
+- ``SC1xx`` numeric stability (:mod:`repro.statcheck.rules.numeric`)
+- ``SC2xx`` hot-path hygiene (:mod:`repro.statcheck.rules.hotpath`)
+- ``SC3xx`` thread/process safety (:mod:`repro.statcheck.rules.safety`)
+- ``SC4xx`` API hygiene (:mod:`repro.statcheck.rules.hygiene`)
+
+``SC001`` (parse failure) is emitted by the framework itself, not a rule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Type
+
+from repro.errors import StatcheckError
+from repro.statcheck.core import Rule
+from repro.statcheck.rules.hotpath import (
+    ArrayGrowInLoop,
+    ListToArrayInLoop,
+    PythonLoopInKernel,
+)
+from repro.statcheck.rules.hygiene import (
+    BareExcept,
+    GenericRaise,
+    MutableDefaultArgument,
+)
+from repro.statcheck.rules.numeric import (
+    DefaultDtypeAccumulator,
+    NaiveLogSumExp,
+    UnguardedProbLog,
+)
+from repro.statcheck.rules.safety import (
+    LambdaToProcessPool,
+    SharedStateMutationInParallel,
+    UnseededGlobalRandom,
+)
+
+#: Every rule class, in code order.
+RULE_CLASSES: Tuple[Type[Rule], ...] = (
+    UnguardedProbLog,
+    NaiveLogSumExp,
+    DefaultDtypeAccumulator,
+    ArrayGrowInLoop,
+    ListToArrayInLoop,
+    PythonLoopInKernel,
+    SharedStateMutationInParallel,
+    LambdaToProcessPool,
+    UnseededGlobalRandom,
+    MutableDefaultArgument,
+    BareExcept,
+    GenericRaise,
+)
+
+RULE_CODES: Tuple[str, ...] = tuple(cls.code for cls in RULE_CLASSES)
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of the full catalogue, code order."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+def select_rules(codes: Sequence[str]) -> List[Rule]:
+    """Instances for the given codes; unknown codes raise StatcheckError."""
+    by_code = {cls.code: cls for cls in RULE_CLASSES}
+    selected = []
+    for code in codes:
+        normalized = code.strip().upper()
+        if not normalized:
+            continue
+        if normalized not in by_code:
+            raise StatcheckError(
+                f"unknown rule code {normalized!r} "
+                f"(known: {', '.join(RULE_CODES)})"
+            )
+        selected.append(by_code[normalized]())
+    if not selected:
+        raise StatcheckError("rule selection is empty")
+    return selected
+
+
+__all__ = [
+    "RULE_CLASSES",
+    "RULE_CODES",
+    "all_rules",
+    "select_rules",
+]

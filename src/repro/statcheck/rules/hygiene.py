@@ -1,0 +1,120 @@
+"""API-hygiene rules (SC4xx): the classic Python sharp edges, scoped to
+what this library has promised its callers (``repro.errors`` docstring:
+"callers can catch library failures without masking programming errors")."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.statcheck.core import Rule, RuleContext, Severity
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_CTORS = {"list", "dict", "set", "bytearray"}
+
+
+class MutableDefaultArgument(Rule):
+    """SC401: mutable default argument."""
+
+    code = "SC401"
+    name = "mutable-default-argument"
+    severity = Severity.ERROR
+    summary = "mutable default argument ([], {}, set(), ...)"
+    rationale = (
+        "Default values are evaluated once at def time and shared across "
+        "every call; mutating one leaks state between callers (and between "
+        "threads).  Default to None and construct inside the function."
+    )
+
+    def _check(self, node: ast.AST, ctx: RuleContext) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            is_mutable = isinstance(default, _MUTABLE_LITERALS) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CTORS
+            )
+            if is_mutable:
+                ctx.report(
+                    self,
+                    default,
+                    "mutable default argument is shared across calls; "
+                    "default to None and construct inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef, ctx: RuleContext) -> None:
+        self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef, ctx: RuleContext
+    ) -> None:
+        self._check(node, ctx)
+
+    def visit_Lambda(self, node: ast.Lambda, ctx: RuleContext) -> None:
+        self._check(node, ctx)
+
+
+class BareExcept(Rule):
+    """SC402: bare ``except:`` clause."""
+
+    code = "SC402"
+    name = "bare-except"
+    severity = Severity.ERROR
+    summary = "bare except: clause"
+    rationale = (
+        "bare except catches SystemExit, KeyboardInterrupt and "
+        "GeneratorExit, turning Ctrl-C into silent corruption inside "
+        "long-running sweeps.  Catch Exception, or better, the narrowest "
+        "repro.errors class that applies."
+    )
+
+    def visit_ExceptHandler(
+        self, node: ast.ExceptHandler, ctx: RuleContext
+    ) -> None:
+        if node.type is None:
+            ctx.report(
+                self,
+                node,
+                "bare except also catches SystemExit/KeyboardInterrupt; "
+                "catch Exception or a specific repro.errors class",
+            )
+
+
+_GENERIC_EXCEPTIONS = {"Exception", "BaseException", "RuntimeError"}
+
+
+class GenericRaise(Rule):
+    """SC403: raising a generic exception that bypasses ``repro.errors``."""
+
+    code = "SC403"
+    name = "generic-raise"
+    severity = Severity.WARNING
+    summary = "raise Exception/RuntimeError instead of a SiriusError subclass"
+    rationale = (
+        "The library's error contract is the repro.errors hierarchy: "
+        "callers catch SiriusError to separate library failures from "
+        "programming errors.  Raising Exception/RuntimeError punches a "
+        "hole in that contract (ValueError/TypeError for genuine misuse "
+        "remain fine)."
+    )
+
+    def visit_Raise(self, node: ast.Raise, ctx: RuleContext) -> None:
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id in _GENERIC_EXCEPTIONS:
+            ctx.report(
+                self,
+                node,
+                f"raise {exc.id} bypasses the repro.errors hierarchy; raise "
+                "a SiriusError subclass so callers can catch library "
+                "failures precisely",
+            )

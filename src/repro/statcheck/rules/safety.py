@@ -1,0 +1,296 @@
+"""Thread- and process-safety rules (SC3xx).
+
+The pthread-analog ports in :mod:`repro.suite.parallel` synchronize exactly
+once, at the join — which only works if worker closures are pure functions
+of their chunk.  These rules police that contract, plus the two other
+parallel footguns: unpicklable lambdas handed to process pools and draws
+from the process-global RNG.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Set
+
+from repro.statcheck.core import (
+    Rule,
+    RuleContext,
+    Severity,
+    identifiers,
+    normalized_call,
+    scope_walk,
+)
+
+_PARALLEL_ENTRYPOINTS = {"map_chunks", "run_chunks_in_processes"}
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "sort", "appendleft",
+}
+
+
+def _bound_names(fn: ast.AST) -> Set[str]:
+    """Parameter names plus names assigned in the function's own scope."""
+    bound: Set[str] = set()
+    args = fn.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        bound.add(arg.arg)
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    if isinstance(fn, ast.Lambda):
+        return bound
+    declared_nonlocal: Set[str] = set()
+    for sub in scope_walk(fn):
+        if isinstance(sub, (ast.Nonlocal, ast.Global)):
+            declared_nonlocal.update(sub.names)
+        elif isinstance(sub, ast.Assign):
+            for target in sub.targets:
+                for name in ast.walk(target):
+                    if isinstance(name, ast.Name):
+                        bound.add(name.id)
+        elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(sub.target, ast.Name):
+                bound.add(sub.target.id)
+        elif isinstance(sub, ast.For):
+            for name in ast.walk(sub.target):
+                if isinstance(name, ast.Name):
+                    bound.add(name.id)
+        elif isinstance(sub, ast.withitem) and sub.optional_vars is not None:
+            for name in ast.walk(sub.optional_vars):
+                if isinstance(name, ast.Name):
+                    bound.add(name.id)
+        elif isinstance(sub, ast.NamedExpr) and isinstance(
+            sub.target, ast.Name
+        ):
+            bound.add(sub.target.id)
+    return bound - declared_nonlocal
+
+
+def _mutated_free_names(fn: ast.AST) -> Set[str]:
+    """Free (nonlocal/global/closure) names the callable mutates."""
+    bound = _bound_names(fn)
+    declared: Set[str] = set()
+    mutated: Set[str] = set()
+    for sub in scope_walk(fn):
+        if isinstance(sub, (ast.Nonlocal, ast.Global)):
+            declared.update(sub.names)
+    for sub in scope_walk(fn):
+        if isinstance(sub, (ast.Assign, ast.AugAssign)):
+            targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in declared:
+                    mutated.add(target.id)
+                elif isinstance(
+                    target, (ast.Subscript, ast.Attribute)
+                ) and isinstance(target.value, ast.Name):
+                    base = target.value.id
+                    if base in declared or base not in bound:
+                        mutated.add(base)
+        elif (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in _MUTATING_METHODS
+            and isinstance(sub.func.value, ast.Name)
+        ):
+            base = sub.func.value.id
+            if base in declared or base not in bound:
+                mutated.add(base)
+    return mutated
+
+
+def _resolve_local_function(
+    name: str, ctx: RuleContext
+) -> Optional[ast.AST]:
+    """Find ``def name`` in the enclosing lexical scopes, innermost first."""
+    for ancestor in reversed(ctx.ancestors()):
+        if not isinstance(
+            ancestor,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module, ast.ClassDef),
+        ):
+            continue
+        for sub in scope_walk(ancestor):
+            if (
+                isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and sub is not ancestor
+                and sub.name == name
+            ):
+                return sub
+    return None
+
+
+class SharedStateMutationInParallel(Rule):
+    """SC301: worker closure handed to the chunk runners mutates shared state."""
+
+    code = "SC301"
+    name = "parallel-shared-mutation"
+    severity = Severity.ERROR
+    summary = (
+        "callable passed to map_chunks/run_chunks_in_processes mutates "
+        "nonlocal or module-level state"
+    )
+    rationale = (
+        "map_chunks runs the closure concurrently on a thread pool with a "
+        "single join; mutating captured state from inside it is a data race "
+        "(and under run_chunks_in_processes the mutation silently vanishes "
+        "in the forked child).  Return per-chunk results and combine them "
+        "after the join, as every Sirius Suite port does."
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: RuleContext) -> None:
+        callee = normalized_call(node.func).rsplit(".", 1)[-1]
+        if callee not in _PARALLEL_ENTRYPOINTS:
+            return
+        candidates = list(node.args) + [kw.value for kw in node.keywords]
+        for arg in candidates:
+            target: Optional[ast.AST] = None
+            label = "<lambda>"
+            if isinstance(arg, ast.Lambda):
+                target = arg
+            elif isinstance(arg, ast.Name):
+                target = _resolve_local_function(arg.id, ctx)
+                label = arg.id
+            if target is None:
+                continue
+            mutated = _mutated_free_names(target)
+            if mutated:
+                ctx.report(
+                    self,
+                    node,
+                    f"callable {label!r} passed to {callee}() mutates shared "
+                    f"state ({', '.join(sorted(mutated))}); return per-chunk "
+                    "results and combine them after the join",
+                )
+
+
+_POOL_METHODS = {
+    "map", "imap", "imap_unordered", "starmap", "map_async",
+    "apply", "apply_async", "submit",
+}
+
+
+def _is_process_pool_ctor(value: ast.AST) -> Optional[bool]:
+    """True/False if ``value`` is recognizably a process/thread pool ctor."""
+    if not isinstance(value, ast.Call):
+        return None
+    name = normalized_call(value.func)
+    tail = name.rsplit(".", 1)[-1]
+    if "ThreadPool" in name:
+        return False
+    if tail in {"Pool", "ProcessPoolExecutor"}:
+        return True
+    return None
+
+
+def _receiver_is_process_pool(receiver: ast.AST, ctx: RuleContext) -> bool:
+    if any("process" in ident for ident in identifiers(receiver)):
+        return True
+    if _is_process_pool_ctor(receiver):  # e.g. ctx.Pool(4).map(...)
+        return True
+    if not isinstance(receiver, ast.Name):
+        return False
+    name = receiver.id
+    for ancestor in reversed(ctx.ancestors()):
+        if not isinstance(
+            ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+        ):
+            continue
+        for sub in scope_walk(ancestor):
+            if (
+                isinstance(sub, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == name
+                    for t in sub.targets
+                )
+                and _is_process_pool_ctor(sub.value)
+            ):
+                return True
+            if (
+                isinstance(sub, ast.withitem)
+                and isinstance(sub.optional_vars, ast.Name)
+                and sub.optional_vars.id == name
+                and _is_process_pool_ctor(sub.context_expr)
+            ):
+                return True
+    return False
+
+
+class LambdaToProcessPool(Rule):
+    """SC302: unpicklable lambda shipped to a process pool."""
+
+    code = "SC302"
+    name = "lambda-to-process-pool"
+    severity = Severity.ERROR
+    summary = "lambda passed to a process pool (not picklable)"
+    rationale = (
+        "Process pools pickle the callable into the worker; lambdas and "
+        "nested functions fail with PicklingError the first time the code "
+        "runs off the fork fast-path.  Use a module-level function (see "
+        "repro.suite.parallel._run_kernel_chunk for the pattern)."
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: RuleContext) -> None:
+        callee = normalized_call(node.func)
+        tail = callee.rsplit(".", 1)[-1]
+        lambdas = [
+            arg
+            for arg in list(node.args) + [kw.value for kw in node.keywords]
+            if isinstance(arg, ast.Lambda)
+        ]
+        if not lambdas:
+            return
+        if tail == "run_chunks_in_processes":
+            pass  # always a process pool
+        elif (
+            tail in _POOL_METHODS
+            and isinstance(node.func, ast.Attribute)
+            and _receiver_is_process_pool(node.func.value, ctx)
+        ):
+            pass
+        else:
+            return
+        ctx.report(
+            self,
+            node,
+            f"lambda passed to {tail}() must cross a process boundary and "
+            "is not picklable; use a module-level function",
+        )
+
+
+_LEGACY_DRAWS = {
+    "rand", "randn", "random", "random_sample", "ranf", "sample",
+    "randint", "random_integers", "normal", "uniform", "choice",
+    "shuffle", "permutation", "standard_normal", "poisson", "beta",
+    "binomial", "exponential", "gamma",
+}
+
+
+class UnseededGlobalRandom(Rule):
+    """SC303: draws from the process-global RNG in library code."""
+
+    code = "SC303"
+    name = "unseeded-global-random"
+    severity = Severity.WARNING
+    summary = (
+        "np.random.* / random.* module-level draw (global mutable RNG state)"
+    )
+    rationale = (
+        "Module-level RNG draws share hidden global state: results change "
+        "with call order, differ per forked worker, and defeat the suite's "
+        "checksum verification.  Library code takes an explicit seed and "
+        "uses np.random.default_rng(seed) (or random.Random(seed))."
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: RuleContext) -> None:
+        fn = normalized_call(node.func)
+        if not fn.startswith(("np.random.", "random.")):
+            return
+        if fn.rsplit(".", 1)[-1] in _LEGACY_DRAWS:
+            ctx.report(
+                self,
+                node,
+                f"{fn}() draws from the process-global RNG; take a seed and "
+                "use np.random.default_rng(seed) / random.Random(seed)",
+            )
