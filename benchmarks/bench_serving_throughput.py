@@ -1,0 +1,99 @@
+"""Serving-layer throughput: cross-query micro-batching vs sequential.
+
+The TPU paper's lesson is that batching independent requests is the lever
+that decides inference throughput; the serving layer's stage-wise executor
+applies it across queries (all VQ queries' ASR stages dispatch as one
+micro-batch, then all their QA stages).  This benchmark pits sequential
+``process_all`` against batched execution on thread and process backends
+over a VQ-mix workload.
+
+Smoke mode (``SIRIUS_BENCH_SMOKE=1``, used by CI) shrinks the workload so
+the comparison stays cheap enough to gate every push.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import QueryType
+
+SMOKE = bool(os.environ.get("SIRIUS_BENCH_SMOKE"))
+N_QUERIES = 8 if SMOKE else 32
+WORKERS = min(os.cpu_count() or 1, 4)
+
+
+@pytest.fixture(scope="module")
+def executor(pipeline):
+    executor = pipeline.serving
+    executor.warmup()
+    return executor
+
+
+@pytest.fixture(scope="module")
+def vq_workload(inputs):
+    base = inputs.by_type(QueryType.VOICE_QUERY)
+    return [base[i % len(base)] for i in range(N_QUERIES)]
+
+
+def _timed(executor, queries, **kwargs):
+    start = time.perf_counter()
+    responses = executor.run_all(queries, **kwargs)
+    return time.perf_counter() - start, responses
+
+
+def test_batched_vs_sequential_report(executor, vq_workload, save_report):
+    sequential_s, _ = _timed(executor, vq_workload)
+    rows = [["sequential", "serial", f"{sequential_s:.2f}",
+             f"{len(vq_workload) / sequential_s:.2f}", "1.00x"]]
+    for backend in ("thread", "process"):
+        batched_s, _ = _timed(
+            executor, vq_workload,
+            backend=backend, batch_stages=True, workers=WORKERS,
+        )
+        rows.append(
+            [f"batched", backend, f"{batched_s:.2f}",
+             f"{len(vq_workload) / batched_s:.2f}",
+             f"{sequential_s / batched_s:.2f}x"]
+        )
+    report = format_table(
+        f"Serving throughput: {len(vq_workload)} VQ queries "
+        f"({WORKERS} workers{', smoke' if SMOKE else ''})",
+        ["Mode", "Backend", "Seconds", "Queries/s", "Speedup"], rows,
+    )
+    save_report("serving_throughput", report)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="cross-query batching needs >= 2 cores to beat sequential",
+)
+def test_batching_beats_sequential(executor, vq_workload):
+    """The acceptance check: process-backend micro-batching outruns the
+    classic sequential ``process_all`` on a multicore host."""
+    sequential_s, _ = _timed(executor, vq_workload)
+    batched_s, _ = _timed(
+        executor, vq_workload,
+        backend="process", batch_stages=True, workers=WORKERS,
+    )
+    assert batched_s < sequential_s
+
+
+def test_batched_results_match_sequential(executor, vq_workload):
+    _, sequential = _timed(executor, vq_workload)
+    _, batched = _timed(
+        executor, vq_workload,
+        backend="process", batch_stages=True, workers=WORKERS,
+    )
+    assert [r.answer for r in batched] == [r.answer for r in sequential]
+    assert [r.filter_hits for r in batched] == [r.filter_hits for r in sequential]
+
+
+def test_bench_batched_dispatch(benchmark, executor, vq_workload):
+    queries = vq_workload[: max(4, N_QUERIES // 4)]
+    responses = benchmark(
+        executor.run_all, queries, backend="thread", batch_stages=True,
+        workers=WORKERS,
+    )
+    assert len(responses) == len(queries)

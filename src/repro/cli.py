@@ -5,6 +5,7 @@ Subcommands::
     repro query "what is the capital of italy" [--image-scene 1]
     repro demo [--asr-backend dnn] [--limit 10]
     repro suite [--scale 0.25] [--workers 4]
+    repro serve-bench [--queries 16] [--backend process] [--workers 2]
     repro design
     repro wer [--noise 0.0 0.05 0.1]
     repro lint [paths ...] [--format json] [--fail-on warning]
@@ -86,6 +87,48 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.analysis import format_table
+    from repro.core import InputSet, QueryType, SiriusPipeline
+
+    pipeline = SiriusPipeline.build(asr_backend=args.asr_backend)
+    inputs = InputSet.build()
+    base = (
+        inputs.by_type(QueryType.VOICE_QUERY)
+        if args.mix == "vq"
+        else inputs.all_queries
+    )
+    queries = [base[i % len(base)] for i in range(args.queries)]
+    executor = pipeline.serving
+    executor.warmup()
+
+    def timed(**kwargs):
+        start = time.perf_counter()
+        responses = executor.run_all(queries, **kwargs)
+        return time.perf_counter() - start, responses
+
+    sequential_s, sequential = timed()
+    batched_s, batched = timed(
+        backend=args.backend, batch_stages=True, workers=args.workers
+    )
+    if any(a.answer != b.answer for a, b in zip(sequential, batched)):
+        print("warning: batched answers diverge from sequential", file=sys.stderr)
+    rows = [
+        ["sequential", "serial", f"{sequential_s:.2f}",
+         f"{len(queries) / sequential_s:.2f}"],
+        ["batched", args.backend, f"{batched_s:.2f}",
+         f"{len(queries) / batched_s:.2f}"],
+    ]
+    print(format_table(
+        f"Serving throughput ({len(queries)} {args.mix.upper()} queries)",
+        ["Mode", "Backend", "Seconds", "Queries/s"], rows,
+    ))
+    print(f"batched speedup over sequential: {sequential_s / batched_s:.2f}x")
+    return 0
+
+
 def _cmd_design(args: argparse.Namespace) -> int:  # noqa: ARG001
     from repro.analysis import format_matrix, format_table
     from repro.datacenter import DatacenterDesigner, paper_gap
@@ -158,6 +201,19 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--workers", type=int, default=4)
     suite.add_argument("--processes", action="store_true")
     suite.set_defaults(func=_cmd_suite)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="serving-layer throughput: sequential vs cross-query batching",
+    )
+    serve.add_argument("--queries", type=int, default=16)
+    serve.add_argument("--mix", choices=("vq", "all"), default="vq")
+    serve.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default="process"
+    )
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument("--asr-backend", choices=("gmm", "dnn"), default="gmm")
+    serve.set_defaults(func=_cmd_serve_bench)
 
     design = sub.add_parser("design", help="print the datacenter design study")
     design.set_defaults(func=_cmd_design)

@@ -4,12 +4,18 @@ Life of a query: audio → ASR → Query Classifier → (action back to device) 
 (QA over the search corpus); an attached image additionally runs IMM.  Every
 service records wall time, so the same object drives the latency studies
 (Figures 7/8) and the cycle-breakdown analysis (Figure 9).
+
+Since the serving-layer refactor this class is a thin facade: query
+execution lives in :mod:`repro.serving` (Service wrappers, query-plan DAGs,
+execution backends), and :meth:`process` / :meth:`process_all` delegate to a
+lazily built :class:`~repro.serving.executor.PlanExecutor` while preserving
+the original observable behaviour exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 from repro.asr import (
     BigramLanguageModel,
@@ -21,7 +27,7 @@ from repro.asr import (
 from repro.core.classifier import QueryClassifier
 from repro.core.inputset import all_sentences
 from repro.profiling import Profiler
-from repro.core.query import IPAQuery, QueryType, SiriusResponse
+from repro.core.query import IPAQuery, SiriusResponse
 from repro.errors import ConfigurationError
 from repro.imm.database import ImageDatabase
 from repro.imm.image import SceneGenerator
@@ -49,6 +55,14 @@ class SiriusPipeline:
     #: Run QA and IMM concurrently for voice-image queries (the Lucida-style
     #: service-parallel execution; numpy releases the GIL in IMM's hot loops).
     parallel_services: bool = False
+    #: Cached serving-layer executor plus the component identities it wraps
+    #: (rebuilt when a component is swapped on a live pipeline).
+    _serving: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _serving_key: Tuple[int, ...] = field(
+        default=(), init=False, repr=False, compare=False
+    )
 
     @classmethod
     def build(
@@ -85,96 +99,36 @@ class SiriusPipeline:
 
     # -- query processing ----------------------------------------------------------
 
+    @property
+    def serving(self):
+        """The serving-layer executor wrapping this pipeline's components.
+
+        Built lazily (and imported lazily: ``repro.serving`` imports the
+        query model from this package, so a module-level import here would
+        be circular) and rebuilt if a component is swapped afterwards.
+        """
+        from repro.serving import build_executor
+
+        key = (
+            id(self.decoder),
+            id(self.classifier),
+            id(self.qa_engine),
+            id(self.image_database),
+        )
+        if self._serving is None or self._serving_key != key:
+            self._serving = build_executor(
+                self.decoder, self.classifier, self.qa_engine, self.image_database
+            )
+            self._serving_key = key
+        return self._serving
+
     def process(self, query: IPAQuery, profiler: Optional[Profiler] = None) -> SiriusResponse:
         """Run one query through the full pipeline."""
-        import time as _time
-
-        wall_start = _time.perf_counter()
-        profiler = profiler if profiler is not None else Profiler()
-        service_seconds: Dict[str, float] = {}
-
-        before = profiler.profile.total
-        with profiler.section("asr"):
-            result = self.decoder.decode_waveform(query.audio, profiler=profiler)
-        service_seconds["ASR"] = profiler.profile.total - before
-        transcript = result.text
-
-        classification = self.classifier.classify(transcript)
-        if classification.is_action and query.image is None:
-            return SiriusResponse(
-                query_type=QueryType.VOICE_COMMAND,
-                transcript=transcript,
-                action=transcript,
-                profile=profiler.profile,
-                service_seconds=service_seconds,
-                wall_seconds=_time.perf_counter() - wall_start,
-            )
-
-        matched_image = ""
-        if query.image is not None and self.parallel_services:
-            matched_image, qa_result = self._run_services_parallel(
-                query, transcript, profiler, service_seconds
-            )
-        else:
-            if query.image is not None:
-                before = profiler.profile.total
-                with profiler.section("imm"):
-                    match = self.image_database.match(query.image, profiler=profiler)
-                service_seconds["IMM"] = profiler.profile.total - before
-                matched_image = match.image_name
-
-            before = profiler.profile.total
-            with profiler.section("qa"):
-                qa_result = self.qa_engine.answer(transcript or "?", profiler=profiler)
-            service_seconds["QA"] = profiler.profile.total - before
-
-        query_type = (
-            QueryType.VOICE_IMAGE_QUERY if query.image is not None else QueryType.VOICE_QUERY
+        return self.serving.run(
+            query, profiler=profiler, parallel_branches=self.parallel_services
         )
-        return SiriusResponse(
-            query_type=query_type,
-            transcript=transcript,
-            answer=qa_result.answer_text,
-            matched_image=matched_image,
-            profile=profiler.profile,
-            service_seconds=service_seconds,
-            filter_hits=qa_result.stats.total_hits,
-            wall_seconds=_time.perf_counter() - wall_start,
-        )
-
-    def _run_services_parallel(self, query, transcript, profiler, service_seconds):
-        """QA and IMM on concurrent threads (VIQ latency optimization).
-
-        Each branch gets its own profiler (wall-clock sections from two
-        threads would double-count in one); their profiles merge afterwards,
-        and per-service seconds reflect each branch's own elapsed time.
-        """
-        import time
-        from concurrent.futures import ThreadPoolExecutor
-
-        imm_profiler = Profiler()
-        qa_profiler = Profiler()
-
-        def run_imm():
-            start = time.perf_counter()
-            match = self.image_database.match(query.image, profiler=imm_profiler)
-            return match, time.perf_counter() - start
-
-        def run_qa():
-            start = time.perf_counter()
-            result = self.qa_engine.answer(transcript or "?", profiler=qa_profiler)
-            return result, time.perf_counter() - start
-
-        with ThreadPoolExecutor(max_workers=2) as pool:
-            imm_future = pool.submit(run_imm)
-            qa_future = pool.submit(run_qa)
-            match, imm_seconds = imm_future.result()
-            qa_result, qa_seconds = qa_future.result()
-        profiler.profile.merge(imm_profiler.profile)
-        profiler.profile.merge(qa_profiler.profile)
-        service_seconds["IMM"] = imm_seconds
-        service_seconds["QA"] = qa_seconds
-        return match.image_name, qa_result
 
     def process_all(self, queries: List[IPAQuery]) -> List[SiriusResponse]:
-        return [self.process(query) for query in queries]
+        return self.serving.run_all(
+            queries, parallel_branches=self.parallel_services
+        )

@@ -28,7 +28,9 @@ from repro.datacenter.simulation import (
     deterministic_sampler,
     empirical_sampler,
     exponential_sampler,
+    live_service_sampler,
     simulate_queue,
+    simulate_serving,
     validate_mm1,
 )
 from repro.datacenter.scalability import (
@@ -50,7 +52,9 @@ __all__ = [
     "deterministic_sampler",
     "empirical_sampler",
     "exponential_sampler",
+    "live_service_sampler",
     "simulate_queue",
+    "simulate_serving",
     "validate_mm1",
     "DesignPoint",
     "EFFICIENCY",

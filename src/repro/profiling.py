@@ -14,6 +14,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
 
+from repro.errors import ProfilerError
+
 
 @dataclass
 class Profile:
@@ -84,7 +86,18 @@ class Profiler:
                 self._entered_at[-1] = end
 
     def reset(self) -> Profile:
-        """Return the collected profile and start a fresh one."""
+        """Return the collected profile and start a fresh one.
+
+        Resetting while sections are open is an error: the open
+        ``section()`` exits would charge time begun *before* the reset to
+        the fresh profile (and pop a stack the reset no longer owns), so
+        the misuse raises instead of silently mis-attributing.
+        """
+        if self._stack:
+            raise ProfilerError(
+                "Profiler.reset() called while sections are still open: "
+                + " > ".join(self._stack)
+            )
         collected = self.profile
         self.profile = Profile()
         return collected

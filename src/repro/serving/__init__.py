@@ -1,0 +1,70 @@
+"""Service-oriented serving layer: Service envelopes, query plans, backends.
+
+The paper's headline results treat Sirius as a set of datacenter services
+(per-service latency, M/M/1 queueing, throughput at load).  This package
+gives the reproduction that architecture explicitly:
+
+- :mod:`repro.serving.service` — the uniform :class:`Service` interface
+  (typed request/response envelopes, ``warmup()``, per-call stats) with
+  ASR/QA/IMM/classifier wrappers;
+- :mod:`repro.serving.plan` — the query planner compiling each
+  :class:`~repro.core.query.QueryType` into a DAG of service stages;
+- :mod:`repro.serving.backends` — the execution-backend registry
+  (``serial`` / ``thread`` / ``process``) shared with
+  :mod:`repro.suite.parallel`;
+- :mod:`repro.serving.executor` — the plan executor, with bounded
+  concurrency and cross-query micro-batching of independent stages.
+
+:class:`~repro.core.pipeline.SiriusPipeline` is a thin facade over this
+layer.  See ``docs/SERVING.md`` for the architecture.
+"""
+
+from repro.serving.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    default_workers,
+    get_backend,
+    register_backend,
+)
+from repro.serving.plan import GUARDS, PlanStage, QueryPlan, compile_plan, full_plan
+from repro.serving.service import (
+    AsrService,
+    ClassifierService,
+    ImmService,
+    QaService,
+    Service,
+    ServiceRequest,
+    ServiceResponse,
+    ServiceStats,
+)
+from repro.serving.executor import ExecutionState, PlanExecutor, build_executor
+
+__all__ = [
+    "AsrService",
+    "ClassifierService",
+    "ExecutionBackend",
+    "ExecutionState",
+    "GUARDS",
+    "ImmService",
+    "PlanExecutor",
+    "PlanStage",
+    "ProcessBackend",
+    "QaService",
+    "QueryPlan",
+    "SerialBackend",
+    "Service",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ServiceStats",
+    "ThreadBackend",
+    "available_backends",
+    "build_executor",
+    "compile_plan",
+    "default_workers",
+    "full_plan",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,307 @@
+"""Plan executor: runs query plans over services with pluggable backends.
+
+One executor replaces the three ad-hoc execution paths the monolithic
+pipeline accumulated (serial branching, the VIQ thread fork, the
+list-comprehension ``process_all``) with a single walk over a
+:class:`~repro.serving.plan.QueryPlan`:
+
+- **per-query** (:meth:`PlanExecutor.run`): stages execute level by level;
+  when a level holds several runnable stages and ``parallel_branches`` is
+  set, the branches overlap on threads (the Lucida-style VIQ
+  optimization), each under its own profiler, merged afterwards.
+- **across queries** (:meth:`PlanExecutor.run_all`): whole queries fan out
+  over any registered execution backend (``serial`` / ``thread`` /
+  ``process``), or — with ``batch_stages=True`` — execution proceeds in
+  *waves*: every query's ASR stage dispatches as one micro-batch, then
+  every classification, then every surviving IMM/QA stage.  Batching the
+  same stage across queries is the TPU-paper throughput lever: it amortizes
+  dispatch overhead and hands the backend N independent work items at once.
+
+Instrumentation is uniform: every recorded stage contributes a profiler
+section and a ``service_seconds`` entry through the same code path,
+whichever execution strategy ran it.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.query import IPAQuery, QueryType, SiriusResponse
+from repro.errors import ConfigurationError
+from repro.profiling import Profiler
+from repro.serving.backends import get_backend
+from repro.serving.plan import QueryPlan, PlanStage, full_plan
+from repro.serving.service import ASR, CLASSIFY, IMM, QA, Service, ServiceRequest
+
+
+@dataclass
+class ExecutionState:
+    """Per-query scratchpad the guards and request builders read."""
+
+    query: IPAQuery
+    profiler: Profiler
+    wall_start: float
+    service_seconds: Dict[str, float] = field(default_factory=dict)
+    results: Dict[str, Any] = field(default_factory=dict)
+    transcript: str = ""
+    classification: Any = None
+
+
+def _asr_request(state: ExecutionState) -> ServiceRequest:
+    return ServiceRequest(payload=state.query.audio, query=state.query)
+
+
+def _text_request(state: ExecutionState) -> ServiceRequest:
+    return ServiceRequest(payload=state.transcript, query=state.query)
+
+
+def _image_request(state: ExecutionState) -> ServiceRequest:
+    return ServiceRequest(payload=state.query.image, query=state.query)
+
+
+_REQUEST_BUILDERS: Dict[str, Callable[[ExecutionState], ServiceRequest]] = {
+    ASR: _asr_request,
+    CLASSIFY: _text_request,
+    QA: _text_request,
+    IMM: _image_request,
+}
+
+
+class PlanExecutor:
+    """Runs :class:`QueryPlan` DAGs over a registry of services."""
+
+    def __init__(
+        self,
+        services: Dict[str, Service],
+        plan: Optional[QueryPlan] = None,
+        max_workers: Optional[int] = None,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        self.services = dict(services)
+        self.plan = plan if plan is not None else full_plan()
+        self.max_workers = max_workers
+        self._check_plan(self.plan)
+
+    def _check_plan(self, plan: QueryPlan) -> None:
+        for stage in plan.stages:
+            if stage.service not in self.services:
+                raise ConfigurationError(
+                    f"plan stage {stage.name!r} needs service {stage.service!r}, "
+                    f"which is not registered (have: {sorted(self.services)})"
+                )
+            if stage.service not in _REQUEST_BUILDERS:
+                raise ConfigurationError(
+                    f"no request builder for service {stage.service!r}"
+                )
+
+    def warmup(self) -> None:
+        """Warm every registered service (index builds, lazy caches)."""
+        for service in self.services.values():
+            service.warmup()
+
+    # -- per-query execution -----------------------------------------------------
+
+    def run(
+        self,
+        query: IPAQuery,
+        profiler: Optional[Profiler] = None,
+        plan: Optional[QueryPlan] = None,
+        parallel_branches: bool = False,
+    ) -> SiriusResponse:
+        """Run one query through its plan and assemble the response."""
+        plan = plan if plan is not None else self.plan
+        if plan is not self.plan:
+            self._check_plan(plan)
+        state = ExecutionState(
+            query=query,
+            profiler=profiler if profiler is not None else Profiler(),
+            wall_start=time.perf_counter(),
+        )
+        for level in plan.levels():
+            runnable = [stage for stage in level if stage.guard()(state)]
+            if parallel_branches and len(runnable) > 1:
+                self._run_level_threaded(runnable, state)
+            else:
+                for stage in runnable:
+                    self._run_stage(stage, state)
+        return self._build_response(state)
+
+    def _request(self, stage: PlanStage, state: ExecutionState) -> ServiceRequest:
+        return _REQUEST_BUILDERS[stage.service](state)
+
+    def _absorb(self, stage: PlanStage, state: ExecutionState, payload: Any) -> None:
+        state.results[stage.name] = payload
+        if stage.service == ASR:
+            state.transcript = payload.text
+        elif stage.service == CLASSIFY:
+            state.classification = payload
+
+    def _run_stage(self, stage: PlanStage, state: ExecutionState) -> None:
+        """Serial stage execution: section the shared profiler, record time.
+
+        ``service_seconds`` gets the stage's *profiled* delta (total profile
+        growth while the section was open), matching how the monolithic
+        pipeline attributed per-service time on the serial path.
+        """
+        service = self.services[stage.service]
+        request = self._request(stage, state)
+        if not stage.record:
+            self._absorb(stage, state, service.invoke(request, state.profiler))
+            return
+        before = state.profiler.profile.total
+        with state.profiler.section(service.name):
+            payload = service.invoke(request, state.profiler)
+        state.service_seconds[service.label] = state.profiler.profile.total - before
+        self._absorb(stage, state, payload)
+
+    def _run_level_threaded(
+        self, stages: Sequence[PlanStage], state: ExecutionState
+    ) -> None:
+        """Overlap one level's independent stages on threads.
+
+        Each branch runs under its own profiler (wall-clock sections from
+        two threads would double-count in one); profiles merge back in
+        declaration order, and each recorded stage's ``service_seconds`` is
+        its branch's own elapsed wall time.
+        """
+        services = [self.services[stage.service] for stage in stages]
+        requests = [self._request(stage, state) for stage in stages]
+        with ThreadPoolExecutor(max_workers=len(stages)) as pool:
+            futures = [
+                pool.submit(service, request)
+                for service, request in zip(services, requests)
+            ]
+            responses = [future.result() for future in futures]
+        for stage, service, response in zip(stages, services, responses):
+            state.profiler.profile.merge(response.profile)
+            if stage.record:
+                state.service_seconds[service.label] = response.stats.seconds
+            self._absorb(stage, state, response.payload)
+
+    def _build_response(self, state: ExecutionState) -> SiriusResponse:
+        qa_result = state.results.get(QA)
+        wall = time.perf_counter() - state.wall_start
+        if qa_result is None:
+            # No QA stage ran: a pure voice command echoed back to the device.
+            return SiriusResponse(
+                query_type=QueryType.VOICE_COMMAND,
+                transcript=state.transcript,
+                action=state.transcript,
+                profile=state.profiler.profile,
+                service_seconds=state.service_seconds,
+                wall_seconds=wall,
+            )
+        match = state.results.get(IMM)
+        query_type = (
+            QueryType.VOICE_IMAGE_QUERY
+            if state.query.image is not None
+            else QueryType.VOICE_QUERY
+        )
+        return SiriusResponse(
+            query_type=query_type,
+            transcript=state.transcript,
+            answer=qa_result.answer_text,
+            matched_image=match.image_name if match is not None else "",
+            profile=state.profiler.profile,
+            service_seconds=state.service_seconds,
+            filter_hits=qa_result.stats.total_hits,
+            wall_seconds=wall,
+        )
+
+    # -- cross-query execution ---------------------------------------------------
+
+    def run_all(
+        self,
+        queries: Sequence[IPAQuery],
+        backend: str = "serial",
+        workers: Optional[int] = None,
+        batch_stages: bool = False,
+        parallel_branches: bool = False,
+        plan: Optional[QueryPlan] = None,
+    ) -> List[SiriusResponse]:
+        """Process a stream of queries.
+
+        Without ``batch_stages``, whole queries map over the chosen backend
+        (``serial`` reproduces the classic sequential ``process_all``).
+        With it, execution proceeds stage-wise: each plan level's surviving
+        stages across *all* queries dispatch together through
+        :meth:`Service.call_batch` — cross-query micro-batching.
+        """
+        queries = list(queries)
+        workers = workers if workers is not None else self.max_workers
+        if batch_stages:
+            return self._run_all_batched(queries, backend, workers, plan)
+        resolved = get_backend(backend)
+        if resolved.name == "serial":
+            return [
+                self.run(query, plan=plan, parallel_branches=parallel_branches)
+                for query in queries
+            ]
+
+        def run_one(query: IPAQuery) -> SiriusResponse:
+            return self.run(query, plan=plan, parallel_branches=parallel_branches)
+
+        return resolved.map(run_one, queries, workers=workers)
+
+    def _run_all_batched(
+        self,
+        queries: List[IPAQuery],
+        backend: str,
+        workers: Optional[int],
+        plan: Optional[QueryPlan],
+    ) -> List[SiriusResponse]:
+        plan = plan if plan is not None else self.plan
+        if plan is not self.plan:
+            self._check_plan(plan)
+        start = time.perf_counter()
+        states = [
+            ExecutionState(query=query, profiler=Profiler(), wall_start=start)
+            for query in queries
+        ]
+        for level in plan.levels():
+            for stage in level:
+                guard = stage.guard()
+                pending = [state for state in states if guard(state)]
+                if not pending:
+                    continue
+                service = self.services[stage.service]
+                responses = service.call_batch(
+                    [self._request(stage, state) for state in pending],
+                    backend=backend,
+                    workers=workers,
+                )
+                for state, response in zip(pending, responses):
+                    state.profiler.profile.merge(response.profile)
+                    if stage.record:
+                        state.service_seconds[service.label] = response.stats.seconds
+                    self._absorb(stage, state, response.payload)
+        return [self._build_response(state) for state in states]
+
+
+def build_executor(
+    decoder,
+    classifier,
+    qa_engine,
+    image_database,
+    plan: Optional[QueryPlan] = None,
+    max_workers: Optional[int] = None,
+) -> PlanExecutor:
+    """Wrap pipeline components in services and assemble an executor."""
+    from repro.serving.service import (
+        AsrService,
+        ClassifierService,
+        ImmService,
+        QaService,
+    )
+
+    services: Dict[str, Service] = {
+        ASR: AsrService(decoder),
+        CLASSIFY: ClassifierService(classifier),
+        QA: QaService(qa_engine),
+        IMM: ImmService(image_database),
+    }
+    return PlanExecutor(services, plan=plan, max_workers=max_workers)

@@ -1,0 +1,190 @@
+"""The uniform ``Service`` interface of the serving layer.
+
+The paper treats ASR, QA, and IMM as datacenter *services* — the unit of
+latency measurement (Figs 7/8), queueing (Fig 17), and provisioning
+(Tables 8/9).  This module gives each of them one shape: a typed
+request/response envelope, a ``warmup()`` hook for lazy state (index
+builds, first-call caches), a profiled ``__call__``, and a ``call_batch``
+that dispatches many independent requests through one execution backend —
+the micro-batching lever the executor pulls for cross-query batching.
+
+The wrappers are thin on purpose: all algorithmic behaviour stays in
+``repro.asr`` / ``repro.qa`` / ``repro.imm``; the serving layer only adds
+envelopes and uniform instrumentation.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from repro.profiling import Profile, Profiler
+from repro.serving.backends import ExecutionBackend, get_backend
+
+#: Canonical service registry keys (also the profiler section names).
+ASR = "asr"
+CLASSIFY = "classify"
+QA = "qa"
+IMM = "imm"
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """Uniform request envelope.
+
+    ``payload`` is the service's natural input (a ``Waveform`` for ASR, a
+    question string for QA, an ``Image`` for IMM); ``query`` optionally
+    carries the originating :class:`~repro.core.query.IPAQuery` for
+    services that need surrounding context.
+    """
+
+    payload: Any
+    query: Any = None
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Per-call measurements, recorded uniformly for every stage."""
+
+    service: str          #: service label, e.g. ``"ASR"``
+    seconds: float        #: wall seconds spent inside the service call
+    batch_size: int = 1   #: requests served by the dispatch this came from
+
+
+@dataclass
+class ServiceResponse:
+    """Uniform response envelope: the service's natural output + metrics."""
+
+    payload: Any
+    stats: ServiceStats
+    profile: Profile = field(default_factory=Profile)
+
+
+class Service(abc.ABC):
+    """One Sirius service behind the uniform serving interface."""
+
+    #: Profiler section / registry key, e.g. ``"asr"``.
+    name: str = ""
+    #: ``SiriusResponse.service_seconds`` label, e.g. ``"ASR"``.
+    label: str = ""
+
+    @abc.abstractmethod
+    def invoke(self, request: ServiceRequest, profiler: Profiler) -> Any:
+        """Run the wrapped component; returns its natural result object."""
+
+    def warmup(self) -> None:
+        """Materialize lazy state so the first real query pays no setup."""
+
+    def __call__(
+        self, request: ServiceRequest, profiler: Optional[Profiler] = None
+    ) -> ServiceResponse:
+        """One instrumented call: payload + :class:`ServiceStats` + profile."""
+        profiler = profiler if profiler is not None else Profiler()
+        start = time.perf_counter()
+        payload = self.invoke(request, profiler)
+        seconds = time.perf_counter() - start
+        return ServiceResponse(
+            payload=payload,
+            stats=ServiceStats(service=self.label, seconds=seconds),
+            profile=profiler.profile,
+        )
+
+    def call_batch(
+        self,
+        requests: Sequence[ServiceRequest],
+        backend: Any = "serial",
+        workers: Optional[int] = None,
+    ) -> List[ServiceResponse]:
+        """Serve many independent requests through one backend dispatch.
+
+        Each request gets a fresh profiler (so the batch can fan out to
+        threads or forked processes without sharing timer state); the
+        returned stats carry the batch size so throughput accounting can
+        distinguish batched from sequential dispatch.
+        """
+        resolved: ExecutionBackend = (
+            backend if isinstance(backend, ExecutionBackend) else get_backend(backend)
+        )
+        responses = resolved.map(self.__call__, list(requests), workers=workers)
+        return [
+            ServiceResponse(
+                payload=response.payload,
+                stats=ServiceStats(
+                    service=response.stats.service,
+                    seconds=response.stats.seconds,
+                    batch_size=len(requests),
+                ),
+                profile=response.profile,
+            )
+            for response in responses
+        ]
+
+    def __repr__(self) -> str:
+        return f"<Service {self.name}>"
+
+
+class AsrService(Service):
+    """Speech recognition over a :class:`~repro.asr.decoder.Decoder`."""
+
+    name = ASR
+    label = "ASR"
+
+    def __init__(self, decoder):
+        self.decoder = decoder
+
+    def invoke(self, request: ServiceRequest, profiler: Profiler):
+        return self.decoder.decode_waveform(request.payload, profiler=profiler)
+
+
+class ClassifierService(Service):
+    """Query classification (action vs. question).
+
+    Classification is glue, not one of the paper's measured services, so
+    the default query plans mark its stage ``record=False`` — it runs
+    un-sectioned and contributes no ``service_seconds`` entry, exactly as
+    the monolithic pipeline behaved.
+    """
+
+    name = CLASSIFY
+    label = "CLASSIFY"
+
+    def __init__(self, classifier):
+        self.classifier = classifier
+
+    def invoke(self, request: ServiceRequest, profiler: Profiler):  # noqa: ARG002
+        return self.classifier.classify(request.payload)
+
+
+class QaService(Service):
+    """Question answering over a :class:`~repro.qa.engine.QAEngine`."""
+
+    name = QA
+    label = "QA"
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def invoke(self, request: ServiceRequest, profiler: Profiler):
+        # An unrecognized utterance still gets a QA pass (the pipeline's
+        # historical `transcript or "?"` contract).
+        return self.engine.answer(request.payload or "?", profiler=profiler)
+
+
+class ImmService(Service):
+    """Image matching over an :class:`~repro.imm.database.ImageDatabase`."""
+
+    name = IMM
+    label = "IMM"
+
+    def __init__(self, database):
+        self.database = database
+
+    def warmup(self) -> None:
+        # Build the pooled ANN matcher now; otherwise the first matched
+        # query pays the k-d tree construction.
+        self.database._ensure_matcher()
+
+    def invoke(self, request: ServiceRequest, profiler: Profiler):
+        return self.database.match(request.payload, profiler=profiler)

@@ -35,7 +35,12 @@ class KernelRun:
 
     @property
     def items_per_second(self) -> float:
-        return self.items / self.seconds if self.seconds > 0 else float("inf")
+        """Throughput; 0.0 for a zero-duration run (nothing was measured).
+
+        Returning ``inf`` here poisoned downstream aggregation (means and
+        ratios over per-run throughputs became ``inf``/``nan``).
+        """
+        return self.items / self.seconds if self.seconds > 0 else 0.0
 
 
 class Kernel(abc.ABC):

@@ -1,15 +1,21 @@
-"""Thread-pool helpers for the pthread-analog kernel ports.
+"""Chunking helpers for the pthread-analog kernel ports.
 
 "Each thread is responsible for a range of data over a fixed number of
 iterations ... synchronizing only at the end of the execution"
 (Section 4.3.1).  ``map_chunks`` reproduces exactly that: split the work into
-``workers`` contiguous ranges, run each on its own thread, join once.
+``workers`` contiguous ranges, run each concurrently, join once.
+
+The pools themselves live in the shared execution-backend registry
+(:mod:`repro.serving.backends`); this module only contributes the Table 4
+chunking policy and dispatches the chunks through the ``thread`` /
+``process`` backends that the serving layer also uses.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Sequence, TypeVar
+
+from repro.serving.backends import get_backend
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -38,34 +44,19 @@ def map_chunks(
     items: Sequence[T],
     workers: int,
 ) -> List[R]:
-    """Apply ``work`` to contiguous chunks of ``items`` on a thread pool."""
+    """Apply ``work`` to contiguous chunks of ``items`` on the thread backend."""
     ranges = chunk_ranges(len(items), workers)
     if len(ranges) <= 1:
         return [work(items)]
-    with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
-        futures = [
-            pool.submit(work, items[chunk.start : chunk.stop]) for chunk in ranges
-        ]
-        return [future.result() for future in futures]
-
-
-def _run_kernel_chunk(payload):
-    """Module-level worker for process pools (must be picklable)."""
-    kernel, chunk_inputs = payload
-    return kernel.run(chunk_inputs)
+    chunks = [items[chunk.start : chunk.stop] for chunk in ranges]
+    return get_backend("thread").map(work, chunks, workers=len(chunks))
 
 
 def run_chunks_in_processes(kernel, chunks: List) -> float:
     """Run ``kernel.run`` over each chunk in its own OS process and sum.
 
-    Uses the ``fork`` start method (Linux) so large read-only inputs are
-    shared copy-on-write rather than re-pickled where possible.
+    The ``process`` backend forks (Linux), so the kernel and its large
+    read-only inputs are shared copy-on-write rather than re-pickled.
     """
-    import multiprocessing
-
-    context = multiprocessing.get_context("fork")
-    with context.Pool(processes=len(chunks)) as pool:
-        partials = pool.map(
-            _run_kernel_chunk, [(kernel, chunk) for chunk in chunks]
-        )
+    partials = get_backend("process").map(kernel.run, chunks, workers=len(chunks))
     return float(sum(partials))

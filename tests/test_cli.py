@@ -54,3 +54,9 @@ class TestCommands:
         assert main(["demo", "--limit", "2"]) == 0
         output = capsys.readouterr().out
         assert "/2 fully correct" in output
+
+    def test_serve_bench_command_runs(self, capsys):
+        assert main(["serve-bench", "--queries", "3", "--backend", "serial"]) == 0
+        output = capsys.readouterr().out
+        assert "Serving throughput" in output
+        assert "batched speedup over sequential" in output

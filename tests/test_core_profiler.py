@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.profiler import NullProfiler, Profile, Profiler
+from repro.errors import ProfilerError
 
 
 class FakeClock:
@@ -63,6 +64,28 @@ class TestProfiler:
         collected = profiler.reset()
         assert collected.seconds == {"a": pytest.approx(1.0)}
         assert profiler.profile.seconds == {}
+
+    def test_reset_inside_open_section_rejected(self):
+        """Regression: resetting with sections open used to silently charge
+        pre-reset time to the fresh profile; now it raises a coded error."""
+        clock = FakeClock()
+        profiler = Profiler(clock=clock)
+        with pytest.raises(ProfilerError) as excinfo:
+            with profiler.section("outer"):
+                clock.advance(1.0)
+                profiler.reset()
+        assert excinfo.value.code == "PROFILER"
+        assert "outer" in str(excinfo.value)
+
+    def test_reset_ok_after_sections_close(self):
+        clock = FakeClock()
+        profiler = Profiler(clock=clock)
+        with profiler.section("a"):
+            clock.advance(1.0)
+        profiler.reset()
+        with profiler.section("b"):
+            clock.advance(2.0)
+        assert profiler.profile.seconds == {"b": pytest.approx(2.0)}
 
     def test_null_profiler_records_nothing(self):
         profiler = NullProfiler()

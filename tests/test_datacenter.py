@@ -231,3 +231,41 @@ class TestDesigner:
 
     def test_candidate_sets_cover_paper_columns(self):
         assert set(CANDIDATE_SETS) == {"with FPGA", "without FPGA", "without FPGA/GPU"}
+
+
+class TestServiceBackedSimulation:
+    """The serving-layer mode: arrivals serviced by real Service objects."""
+
+    def test_live_sampler_measures_real_executions(self, sirius_pipeline, input_set):
+        from repro.datacenter import live_service_sampler
+
+        calls = []
+
+        def process(query):
+            calls.append(query)
+            return sirius_pipeline.process(query)
+
+        sample = live_service_sampler(process, input_set.voice_commands[:3], seed=1)
+        drawn = [sample() for _ in range(2)]
+        assert len(calls) == 2
+        assert all(value > 0 for value in drawn)
+
+    def test_simulate_serving_runs_real_queries(self, sirius_pipeline, input_set):
+        from repro.datacenter import simulate_serving
+
+        result = simulate_serving(
+            sirius_pipeline.process,
+            input_set.voice_commands[:4],
+            arrival_rate=0.5,
+            n_queries=12,
+            seed=3,
+        )
+        assert result.n_completed > 0
+        assert result.mean_response_time > 0
+        assert result.mean_response_time >= result.mean_waiting_time
+
+    def test_empty_query_pool_rejected(self):
+        from repro.datacenter import live_service_sampler
+
+        with pytest.raises(ConfigurationError):
+            live_service_sampler(lambda q: q, [])

@@ -13,6 +13,22 @@ from repro.suite import (
 )
 
 
+class TestKernelRun:
+    def test_zero_duration_throughput_is_zero(self):
+        """Regression: a zero-second run returned inf items/s, poisoning
+        any mean/ratio aggregated over per-run throughputs."""
+        from repro.suite import KernelRun
+
+        run = KernelRun(kernel="gmm", seconds=0.0, items=100, checksum=0.0)
+        assert run.items_per_second == 0.0
+
+    def test_positive_duration_throughput(self):
+        from repro.suite import KernelRun
+
+        run = KernelRun(kernel="gmm", seconds=2.0, items=100, checksum=0.0)
+        assert run.items_per_second == pytest.approx(50.0)
+
+
 class TestParallelHelpers:
     def test_chunks_cover_everything(self):
         ranges = chunk_ranges(10, 3)
