@@ -6,6 +6,7 @@ Subcommands::
     repro demo [--asr-backend dnn] [--limit 10]
     repro suite [--scale 0.25] [--workers 4]
     repro serve-bench [--queries 16] [--backend process] [--workers 2]
+    repro serve-bench --chaos 42 [--queries 16]
     repro design
     repro wer [--noise 0.0 0.05 0.1]
     repro lint [paths ...] [--format json] [--fail-on warning]
@@ -87,6 +88,67 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_fingerprint(responses):
+    """The replay-comparable projection of a response stream."""
+    return [
+        (r.query_type.value, r.transcript, r.answer, r.matched_image,
+         r.degraded, tuple(sorted(r.failures.items())))
+        for r in responses
+    ]
+
+
+def _cmd_chaos_bench(args: argparse.Namespace, pipeline, queries) -> int:
+    """``serve-bench --chaos SEED``: availability under injected failures.
+
+    Runs the stream twice through *freshly wrapped* resilient services (same
+    seed, fresh breaker state) and checks the outcomes replay identically —
+    the determinism contract the chaos test suite locks down.
+    """
+    from collections import Counter
+
+    from repro.analysis import format_table
+    from repro.serving import default_chaos_plan, default_policies, resilient_executor
+
+    plan = default_chaos_plan(args.chaos)
+
+    def run_once():
+        executor = resilient_executor(
+            pipeline.serving, default_policies(seed=args.chaos), plan
+        )
+        executor.warmup()
+        return executor.run_all(queries, on_error="degrade")
+
+    first = run_once()
+    second = run_once()
+    if _chaos_fingerprint(first) != _chaos_fingerprint(second):
+        print("warning: chaos outcomes did not replay identically", file=sys.stderr)
+
+    n = len(first)
+    n_failed = sum(1 for r in first if r.failed)
+    n_degraded = sum(1 for r in first if r.degraded and not r.failed)
+    n_ok = n - n_failed - n_degraded
+    codes = Counter(
+        f"{label}:{code}" for r in first for label, code in sorted(r.failures.items())
+    )
+    rows = [
+        ["ok (full quality)", str(n_ok), f"{n_ok / n:.3f}"],
+        ["degraded", str(n_degraded), f"{n_degraded / n:.3f}"],
+        ["failed", str(n_failed), f"{n_failed / n:.3f}"],
+        ["available (ok+degraded)", str(n_ok + n_degraded),
+         f"{(n_ok + n_degraded) / n:.3f}"],
+    ]
+    print(format_table(
+        f"Chaos serving (seed={args.chaos}, {n} queries)",
+        ["Outcome", "Queries", "Fraction"], rows,
+    ))
+    if codes:
+        print("failure codes: "
+              + ", ".join(f"{key}×{count}" for key, count in sorted(codes.items())))
+    replayed = _chaos_fingerprint(first) == _chaos_fingerprint(second)
+    print(f"replay determinism: {'ok' if replayed else 'FAILED'}")
+    return 0 if replayed else 2
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     import time
 
@@ -101,6 +163,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         else inputs.all_queries
     )
     queries = [base[i % len(base)] for i in range(args.queries)]
+    if args.chaos is not None:
+        return _cmd_chaos_bench(args, pipeline, queries)
     executor = pipeline.serving
     executor.warmup()
 
@@ -213,6 +277,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--workers", type=int, default=None)
     serve.add_argument("--asr-backend", choices=("gmm", "dnn"), default="gmm")
+    serve.add_argument(
+        "--chaos", type=int, default=None, metavar="SEED",
+        help="run the seeded chaos bench instead: availability/goodput under "
+             "the default fault plan, with a replay-determinism check",
+    )
     serve.set_defaults(func=_cmd_serve_bench)
 
     design = sub.add_parser("design", help="print the datacenter design study")

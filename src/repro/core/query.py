@@ -62,6 +62,18 @@ class SiriusResponse:
     service_seconds: Dict[str, float] = field(default_factory=dict)
     filter_hits: int = 0
     wall_seconds: float = 0.0  # end-to-end wall time (may be < sum when services overlap)
+    #: True when any service failed and the response was served degraded
+    #: (e.g. a VIQ answered without its image match) or not at all.
+    degraded: bool = False
+    #: Failing service label -> stable error code (``repro.errors``), e.g.
+    #: ``{"IMM": "CIRCUIT_OPEN"}``.  Empty for a clean response.
+    failures: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        """True when no usable answer exists: a *fatal* service (ASR or the
+        classifier) failed, as opposed to a degradable QA/IMM branch."""
+        return any(label in self.failures for label in ("ASR", "CLASSIFY"))
 
     @property
     def latency(self) -> float:
@@ -78,5 +90,8 @@ class SiriusResponse:
             parts.append(f"answer={self.answer!r}")
         if self.matched_image:
             parts.append(f"image={self.matched_image!r}")
+        if self.failures:
+            tags = ",".join(f"{k}:{v}" for k, v in sorted(self.failures.items()))
+            parts.append(f"{'failed' if self.failed else 'degraded'}[{tags}]")
         parts.append(f"{self.latency * 1000:.1f} ms")
         return " ".join(parts)

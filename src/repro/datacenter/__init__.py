@@ -24,6 +24,7 @@ from repro.datacenter.queueing import (
     throughput_improvement_at_load,
 )
 from repro.datacenter.simulation import (
+    ServingSimulationResult,
     SimulationResult,
     deterministic_sampler,
     empirical_sampler,
@@ -47,6 +48,7 @@ __all__ = [
     "CapacityPlanner",
     "DatacenterDesigner",
     "ProvisioningPlan",
+    "ServingSimulationResult",
     "SimulationResult",
     "WorkloadMix",
     "deterministic_sampler",

@@ -24,7 +24,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SiriusError
 
 
 @dataclass(frozen=True)
@@ -40,6 +40,39 @@ class SimulationResult:
     @property
     def throughput_ok(self) -> bool:
         return self.n_completed > 0
+
+
+@dataclass(frozen=True)
+class ServingSimulationResult(SimulationResult):
+    """Queue statistics plus per-arrival serving outcomes under faults.
+
+    Produced by :func:`simulate_serving` with ``classify_outcomes=True``:
+    each simulated arrival's response is classed as *ok* (full quality),
+    *degraded* (served, but a QA/IMM branch failed), or *failed* (a fatal
+    service failed, or the call raised).  Outcome counts cover the whole
+    arrival stream — availability is a correctness property, so no warmup
+    fraction is discarded from it (queueing statistics still are).
+    """
+
+    n_ok: int = 0
+    n_degraded: int = 0
+    n_failed: int = 0
+
+    @property
+    def n_arrivals(self) -> int:
+        return self.n_ok + self.n_degraded + self.n_failed
+
+    @property
+    def availability(self) -> float:
+        """Fraction of arrivals that got *an* answer (ok or degraded)."""
+        total = self.n_arrivals
+        return (self.n_ok + self.n_degraded) / total if total else 0.0
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of arrivals served at full quality."""
+        total = self.n_arrivals
+        return self.n_ok / total if total else 0.0
 
 
 def exponential_sampler(mean: float, seed: int = 0) -> Callable[[], float]:
@@ -104,6 +137,7 @@ def simulate_serving(
     n_queries: int = 100,
     seed: int = 42,
     warmup_fraction: float = 0.1,
+    classify_outcomes: bool = False,
 ) -> SimulationResult:
     """Queue simulation whose arrivals are serviced by *real* services.
 
@@ -112,14 +146,69 @@ def simulate_serving(
     empirical queueing checks (Figure 17's convergence claims) run against
     measured rather than assumed distributions.  Keep ``n_queries`` modest:
     each one is a genuine end-to-end query execution.
+
+    With ``classify_outcomes=True`` — the degraded-mode arrival path for
+    resilient serving under fault injection — each arrival's response is
+    additionally classed as ok / degraded / failed (a response whose
+    ``failed`` property is true, or a :class:`~repro.errors.SiriusError`
+    raised by ``process_fn``, counts as failed) and a
+    :class:`ServingSimulationResult` carrying availability and goodput is
+    returned.  Pair ``process_fn`` with a resilient executor's
+    ``run(query, on_error="degrade")`` so fatal failures surface as failed
+    responses, not stream-aborting exceptions.
     """
-    return simulate_queue(
+    if not classify_outcomes:
+        return simulate_queue(
+            arrival_rate,
+            live_service_sampler(process_fn, queries, seed=seed + 1),
+            n_servers=n_servers,
+            n_queries=n_queries,
+            seed=seed,
+            warmup_fraction=warmup_fraction,
+        )
+
+    if not queries:
+        raise ConfigurationError("need at least one query")
+    rng = random.Random(seed + 1)
+    pool = list(queries)
+    clock = time.perf_counter
+    outcomes = {"ok": 0, "degraded": 0, "failed": 0}
+
+    def sample() -> float:
+        start = clock()
+        try:
+            response = process_fn(rng.choice(pool))
+        except SiriusError:
+            outcomes["failed"] += 1
+            return max(clock() - start, 1e-9)
+        if getattr(response, "failed", False):
+            outcomes["failed"] += 1
+        elif getattr(response, "degraded", False):
+            outcomes["degraded"] += 1
+        else:
+            outcomes["ok"] += 1
+        # Injected virtual latency counts like real latency.
+        virtual = getattr(response, "wall_seconds", 0.0)
+        measured = clock() - start
+        return max(virtual, measured, 1e-9)
+
+    base = simulate_queue(
         arrival_rate,
-        live_service_sampler(process_fn, queries, seed=seed + 1),
+        sample,
         n_servers=n_servers,
         n_queries=n_queries,
         seed=seed,
         warmup_fraction=warmup_fraction,
+    )
+    return ServingSimulationResult(
+        n_completed=base.n_completed,
+        mean_response_time=base.mean_response_time,
+        p95_response_time=base.p95_response_time,
+        mean_waiting_time=base.mean_waiting_time,
+        utilization=base.utilization,
+        n_ok=outcomes["ok"],
+        n_degraded=outcomes["degraded"],
+        n_failed=outcomes["failed"],
     )
 
 

@@ -78,6 +78,58 @@ class ProfilerError(SiriusError):
     code = "PROFILER"
 
 
+class ServiceError(SiriusError):
+    """A serving-layer service call failed after resilience handling.
+
+    Raised by :class:`repro.serving.resilience.ResilientService` when a
+    wrapped service exhausts its retry budget or returns an invalid
+    (corrupted) payload.  ``service`` names the failing service so callers
+    can attribute the failure without parsing the message.
+    """
+
+    code = "SERVICE"
+
+    def __init__(self, message: str, service: str = ""):
+        super().__init__(message)
+        self.service = service
+
+
+class DeadlineExceededError(ServiceError):
+    """A service call (including retries and backoff) overran its deadline.
+
+    The deadline is a total per-call budget: it covers every attempt, the
+    backoff sleeps between them, and any injected virtual latency.
+    """
+
+    code = "DEADLINE"
+
+
+class CircuitOpenError(ServiceError):
+    """A call was rejected fast because the service's circuit breaker is open.
+
+    Never retried: the breaker exists precisely to shed load from a failing
+    service, so the caller must degrade (or fail) immediately.
+    """
+
+    code = "CIRCUIT_OPEN"
+
+
+class InjectedFaultError(ServiceError):
+    """A deterministic fault injected by :class:`repro.serving.faults.FaultInjector`.
+
+    The default code is ``INJECTED``; a :class:`~repro.serving.faults.FaultRule`
+    may override it per rule so chaos tests can assert exactly which injected
+    failure surfaced where.
+    """
+
+    code = "INJECTED"
+
+    def __init__(self, message: str, service: str = "", code: str = ""):
+        super().__init__(message, service=service)
+        if code:
+            self.code = code
+
+
 class StatcheckError(SiriusError):
     """The statcheck analyzer was misconfigured or could not run.
 

@@ -13,7 +13,14 @@ gives the reproduction that architecture explicitly:
   (``serial`` / ``thread`` / ``process``) shared with
   :mod:`repro.suite.parallel`;
 - :mod:`repro.serving.executor` — the plan executor, with bounded
-  concurrency and cross-query micro-batching of independent stages.
+  concurrency, cross-query micro-batching of independent stages, and
+  graceful degradation when a service fails;
+- :mod:`repro.serving.resilience` — deadlines, bounded seeded-jitter
+  retries, and per-service circuit breakers applied by the
+  :class:`ResilientService` decorator;
+- :mod:`repro.serving.faults` — the deterministic, seeded fault-injection
+  harness (:class:`FaultPlan` / :class:`FaultInjector`) behind the chaos
+  test suite and ``repro serve-bench --chaos``.
 
 :class:`~repro.core.pipeline.SiriusPipeline` is a thin facade over this
 layer.  See ``docs/SERVING.md`` for the architecture.
@@ -31,6 +38,10 @@ from repro.serving.backends import (
 )
 from repro.serving.plan import GUARDS, PlanStage, QueryPlan, compile_plan, full_plan
 from repro.serving.service import (
+    ASR,
+    CLASSIFY,
+    IMM,
+    QA,
     AsrService,
     ClassifierService,
     ImmService,
@@ -40,13 +51,51 @@ from repro.serving.service import (
     ServiceResponse,
     ServiceStats,
 )
-from repro.serving.executor import ExecutionState, PlanExecutor, build_executor
+from repro.serving.executor import (
+    FATAL_SERVICES,
+    ExecutionState,
+    PlanExecutor,
+    build_executor,
+)
+from repro.serving.faults import (
+    CorruptPayload,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    VirtualLatencyAware,
+    charge_virtual_seconds,
+    default_chaos_plan,
+    drain_virtual_seconds,
+)
+from repro.serving.resilience import (
+    BreakerPolicy,
+    CallRecord,
+    CircuitBreaker,
+    ResiliencePolicy,
+    ResilientService,
+    RetryPolicy,
+    default_policies,
+    resilient_executor,
+    wrap_services,
+)
 
 __all__ = [
+    "ASR",
     "AsrService",
+    "CLASSIFY",
+    "IMM",
+    "QA",
+    "BreakerPolicy",
+    "CallRecord",
+    "CircuitBreaker",
     "ClassifierService",
+    "CorruptPayload",
     "ExecutionBackend",
     "ExecutionState",
+    "FATAL_SERVICES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "GUARDS",
     "ImmService",
     "PlanExecutor",
@@ -54,17 +103,27 @@ __all__ = [
     "ProcessBackend",
     "QaService",
     "QueryPlan",
+    "ResiliencePolicy",
+    "ResilientService",
+    "RetryPolicy",
     "SerialBackend",
     "Service",
     "ServiceRequest",
     "ServiceResponse",
     "ServiceStats",
     "ThreadBackend",
+    "VirtualLatencyAware",
     "available_backends",
     "build_executor",
+    "charge_virtual_seconds",
     "compile_plan",
+    "default_chaos_plan",
+    "default_policies",
     "default_workers",
+    "drain_virtual_seconds",
     "full_plan",
     "get_backend",
     "register_backend",
+    "resilient_executor",
+    "wrap_services",
 ]

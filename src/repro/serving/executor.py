@@ -20,6 +20,22 @@ list-comprehension ``process_all``) with a single walk over a
 Instrumentation is uniform: every recorded stage contributes a profiler
 section and a ``service_seconds`` entry through the same code path,
 whichever execution strategy ran it.
+
+**Graceful degradation.**  A stage failure (any :class:`~repro.errors.
+SiriusError`, typically a coded :class:`~repro.errors.ServiceError` from a
+:class:`~repro.serving.resilience.ResilientService` wrapper) is classified
+by which service failed:
+
+- **IMM** — the VIQ query degrades to a VQ answer (no image match);
+- **QA** — a low-confidence fallback response is returned (transcript
+  preserved, empty answer);
+- **ASR / classify** — fatal: nothing downstream can run, so the query
+  fails (:meth:`run` re-raises; :meth:`run_all` with ``on_error="degrade"``
+  returns a failed response instead so one bad query cannot abort a
+  stream).
+
+Every degraded or failed response carries ``degraded=True`` and a
+``failures`` map of service label → stable error code.
 """
 
 from __future__ import annotations
@@ -27,14 +43,32 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.query import IPAQuery, QueryType, SiriusResponse
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SiriusError
 from repro.profiling import Profiler
 from repro.serving.backends import get_backend
+from repro.serving.faults import drain_virtual_seconds
 from repro.serving.plan import QueryPlan, PlanStage, full_plan
-from repro.serving.service import ASR, CLASSIFY, IMM, QA, Service, ServiceRequest
+from repro.serving.service import (
+    ASR,
+    CLASSIFY,
+    IMM,
+    QA,
+    Service,
+    ServiceRequest,
+    ServiceResponse,
+    ServiceStats,
+)
+
+#: Services whose failure fails the whole query (everything hangs off the
+#: transcript and its classification); QA and IMM failures degrade instead.
+FATAL_SERVICES = frozenset({ASR, CLASSIFY})
+
+#: Accepted ``on_error`` modes for :meth:`PlanExecutor.run` / ``run_all``.
+RAISE = "raise"
+DEGRADE = "degrade"
 
 
 @dataclass
@@ -44,22 +78,35 @@ class ExecutionState:
     query: IPAQuery
     profiler: Profiler
     wall_start: float
+    ordinal: int = 0
     service_seconds: Dict[str, float] = field(default_factory=dict)
     results: Dict[str, Any] = field(default_factory=dict)
     transcript: str = ""
     classification: Any = None
+    #: Failing service label -> stable error code, in failure order.
+    failures: Dict[str, str] = field(default_factory=dict)
+    #: The fatal (ASR/classify) error, when one occurred.
+    fatal_error: Optional[SiriusError] = None
+    #: Injected virtual latency accumulated across this query's stages.
+    virtual_seconds: float = 0.0
 
 
 def _asr_request(state: ExecutionState) -> ServiceRequest:
-    return ServiceRequest(payload=state.query.audio, query=state.query)
+    return ServiceRequest(
+        payload=state.query.audio, query=state.query, ordinal=state.ordinal
+    )
 
 
 def _text_request(state: ExecutionState) -> ServiceRequest:
-    return ServiceRequest(payload=state.transcript, query=state.query)
+    return ServiceRequest(
+        payload=state.transcript, query=state.query, ordinal=state.ordinal
+    )
 
 
 def _image_request(state: ExecutionState) -> ServiceRequest:
-    return ServiceRequest(payload=state.query.image, query=state.query)
+    return ServiceRequest(
+        payload=state.query.image, query=state.query, ordinal=state.ordinal
+    )
 
 
 _REQUEST_BUILDERS: Dict[str, Callable[[ExecutionState], ServiceRequest]] = {
@@ -68,6 +115,21 @@ _REQUEST_BUILDERS: Dict[str, Callable[[ExecutionState], ServiceRequest]] = {
     QA: _text_request,
     IMM: _image_request,
 }
+
+
+@dataclass
+class _StageFailure:
+    """Per-item failure marker crossing backend boundaries in batched mode."""
+
+    code: str
+    error: SiriusError
+
+
+def _check_on_error(on_error: str) -> None:
+    if on_error not in (RAISE, DEGRADE):
+        raise ConfigurationError(
+            f"on_error must be {RAISE!r} or {DEGRADE!r}, got {on_error!r}"
+        )
 
 
 class PlanExecutor:
@@ -111,8 +173,16 @@ class PlanExecutor:
         profiler: Optional[Profiler] = None,
         plan: Optional[QueryPlan] = None,
         parallel_branches: bool = False,
+        ordinal: int = 0,
+        on_error: str = RAISE,
     ) -> SiriusResponse:
-        """Run one query through its plan and assemble the response."""
+        """Run one query through its plan and assemble the response.
+
+        A degradable (QA/IMM) failure always yields a degraded response; a
+        fatal (ASR/classify) failure re-raises under ``on_error="raise"``
+        (the default) or returns a failed response under ``"degrade"``.
+        """
+        _check_on_error(on_error)
         plan = plan if plan is not None else self.plan
         if plan is not self.plan:
             self._check_plan(plan)
@@ -120,14 +190,19 @@ class PlanExecutor:
             query=query,
             profiler=profiler if profiler is not None else Profiler(),
             wall_start=time.perf_counter(),
+            ordinal=ordinal,
         )
-        for level in plan.levels():
-            runnable = [stage for stage in level if stage.guard()(state)]
-            if parallel_branches and len(runnable) > 1:
-                self._run_level_threaded(runnable, state)
-            else:
-                for stage in runnable:
-                    self._run_stage(stage, state)
+        try:
+            for level in plan.levels():
+                runnable = [stage for stage in level if stage.guard()(state)]
+                if parallel_branches and len(runnable) > 1:
+                    self._run_level_threaded(runnable, state)
+                else:
+                    for stage in runnable:
+                        self._run_stage(stage, state)
+        except SiriusError:
+            if on_error == RAISE or state.fatal_error is None:
+                raise
         return self._build_response(state)
 
     def _request(self, stage: PlanStage, state: ExecutionState) -> ServiceRequest:
@@ -140,22 +215,44 @@ class PlanExecutor:
         elif stage.service == CLASSIFY:
             state.classification = payload
 
+    def _record_failure(
+        self, stage: PlanStage, state: ExecutionState, exc: SiriusError
+    ) -> None:
+        """Classify a stage failure; fatal services re-raise, others degrade."""
+        service = self.services[stage.service]
+        state.failures[service.label] = exc.code
+        if stage.service in FATAL_SERVICES:
+            state.fatal_error = exc
+            raise exc
+
     def _run_stage(self, stage: PlanStage, state: ExecutionState) -> None:
         """Serial stage execution: section the shared profiler, record time.
 
         ``service_seconds`` gets the stage's *profiled* delta (total profile
         growth while the section was open), matching how the monolithic
-        pipeline attributed per-service time on the serial path.
+        pipeline attributed per-service time on the serial path, plus any
+        virtual latency a fault injector charged during the call.
         """
         service = self.services[stage.service]
         request = self._request(stage, state)
-        if not stage.record:
-            self._absorb(stage, state, service.invoke(request, state.profiler))
-            return
+        drain_virtual_seconds()
         before = state.profiler.profile.total
-        with state.profiler.section(service.name):
-            payload = service.invoke(request, state.profiler)
-        state.service_seconds[service.label] = state.profiler.profile.total - before
+        try:
+            if stage.record:
+                with state.profiler.section(service.name):
+                    payload = service.invoke(request, state.profiler)
+            else:
+                payload = service.invoke(request, state.profiler)
+        except SiriusError as exc:
+            state.virtual_seconds += drain_virtual_seconds()
+            self._record_failure(stage, state, exc)
+            return
+        virtual = drain_virtual_seconds()
+        state.virtual_seconds += virtual
+        if stage.record:
+            state.service_seconds[service.label] = (
+                state.profiler.profile.total - before + virtual
+            )
         self._absorb(stage, state, payload)
 
     def _run_level_threaded(
@@ -166,7 +263,8 @@ class PlanExecutor:
         Each branch runs under its own profiler (wall-clock sections from
         two threads would double-count in one); profiles merge back in
         declaration order, and each recorded stage's ``service_seconds`` is
-        its branch's own elapsed wall time.
+        its branch's own elapsed wall time.  A branch failure degrades that
+        branch alone — the sibling's result is kept either way.
         """
         services = [self.services[stage.service] for stage in stages]
         requests = [self._request(stage, state) for stage in stages]
@@ -175,17 +273,45 @@ class PlanExecutor:
                 pool.submit(service, request)
                 for service, request in zip(services, requests)
             ]
-            responses = [future.result() for future in futures]
-        for stage, service, response in zip(stages, services, responses):
-            state.profiler.profile.merge(response.profile)
+            outcomes: List[Union[ServiceResponse, SiriusError]] = []
+            for future in futures:
+                try:
+                    outcomes.append(future.result())
+                except SiriusError as exc:
+                    outcomes.append(exc)
+        for stage, service, outcome in zip(stages, services, outcomes):
+            if isinstance(outcome, SiriusError):
+                self._record_failure(stage, state, outcome)
+                continue
+            state.profiler.profile.merge(outcome.profile)
             if stage.record:
-                state.service_seconds[service.label] = response.stats.seconds
-            self._absorb(stage, state, response.payload)
+                state.service_seconds[service.label] = outcome.stats.seconds
+            self._absorb(stage, state, outcome.payload)
 
     def _build_response(self, state: ExecutionState) -> SiriusResponse:
+        wall = time.perf_counter() - state.wall_start + state.virtual_seconds
+        failures = dict(state.failures)
+        degraded = bool(failures)
+        if state.fatal_error is not None:
+            # Nothing usable: ASR or classification died.  Class the failed
+            # query by the only evidence left (an attached image).
+            query_type = (
+                QueryType.VOICE_IMAGE_QUERY
+                if state.query.image is not None
+                else QueryType.VOICE_COMMAND
+            )
+            return SiriusResponse(
+                query_type=query_type,
+                transcript=state.transcript,
+                profile=state.profiler.profile,
+                service_seconds=state.service_seconds,
+                wall_seconds=wall,
+                degraded=True,
+                failures=failures,
+            )
         qa_result = state.results.get(QA)
-        wall = time.perf_counter() - state.wall_start
-        if qa_result is None:
+        qa_failed = "QA" in failures
+        if qa_result is None and not qa_failed:
             # No QA stage ran: a pure voice command echoed back to the device.
             return SiriusResponse(
                 query_type=QueryType.VOICE_COMMAND,
@@ -194,22 +320,28 @@ class PlanExecutor:
                 profile=state.profiler.profile,
                 service_seconds=state.service_seconds,
                 wall_seconds=wall,
+                degraded=degraded,
+                failures=failures,
             )
         match = state.results.get(IMM)
-        query_type = (
-            QueryType.VOICE_IMAGE_QUERY
-            if state.query.image is not None
-            else QueryType.VOICE_QUERY
-        )
+        if state.query.image is None:
+            query_type = QueryType.VOICE_QUERY
+        elif "IMM" in failures:
+            # The image-match branch failed: serve the VIQ as a plain VQ.
+            query_type = QueryType.VOICE_QUERY
+        else:
+            query_type = QueryType.VOICE_IMAGE_QUERY
         return SiriusResponse(
             query_type=query_type,
             transcript=state.transcript,
-            answer=qa_result.answer_text,
+            answer=qa_result.answer_text if qa_result is not None else "",
             matched_image=match.image_name if match is not None else "",
             profile=state.profiler.profile,
             service_seconds=state.service_seconds,
-            filter_hits=qa_result.stats.total_hits,
+            filter_hits=qa_result.stats.total_hits if qa_result is not None else 0,
             wall_seconds=wall,
+            degraded=degraded,
+            failures=failures,
         )
 
     # -- cross-query execution ---------------------------------------------------
@@ -222,30 +354,40 @@ class PlanExecutor:
         batch_stages: bool = False,
         parallel_branches: bool = False,
         plan: Optional[QueryPlan] = None,
+        on_error: str = RAISE,
     ) -> List[SiriusResponse]:
         """Process a stream of queries.
 
         Without ``batch_stages``, whole queries map over the chosen backend
         (``serial`` reproduces the classic sequential ``process_all``).
         With it, execution proceeds stage-wise: each plan level's surviving
-        stages across *all* queries dispatch together through
-        :meth:`Service.call_batch` — cross-query micro-batching.
+        stages across *all* queries dispatch together — cross-query
+        micro-batching.  Each query is stamped with its stream ``ordinal``,
+        the key the resilience layer uses to replay faults identically on
+        every backend.  ``on_error="degrade"`` turns fatal per-query
+        failures into failed responses instead of aborting the stream.
         """
+        _check_on_error(on_error)
         queries = list(queries)
         workers = workers if workers is not None else self.max_workers
         if batch_stages:
-            return self._run_all_batched(queries, backend, workers, plan)
+            return self._run_all_batched(queries, backend, workers, plan, on_error)
         resolved = get_backend(backend)
+
+        def run_one(item) -> SiriusResponse:
+            index, query = item
+            return self.run(
+                query,
+                plan=plan,
+                parallel_branches=parallel_branches,
+                ordinal=index,
+                on_error=on_error,
+            )
+
+        items = list(enumerate(queries))
         if resolved.name == "serial":
-            return [
-                self.run(query, plan=plan, parallel_branches=parallel_branches)
-                for query in queries
-            ]
-
-        def run_one(query: IPAQuery) -> SiriusResponse:
-            return self.run(query, plan=plan, parallel_branches=parallel_branches)
-
-        return resolved.map(run_one, queries, workers=workers)
+            return [run_one(item) for item in items]
+        return resolved.map(run_one, items, workers=workers)
 
     def _run_all_batched(
         self,
@@ -253,33 +395,90 @@ class PlanExecutor:
         backend: str,
         workers: Optional[int],
         plan: Optional[QueryPlan],
+        on_error: str,
     ) -> List[SiriusResponse]:
         plan = plan if plan is not None else self.plan
         if plan is not self.plan:
             self._check_plan(plan)
         start = time.perf_counter()
         states = [
-            ExecutionState(query=query, profiler=Profiler(), wall_start=start)
-            for query in queries
+            ExecutionState(
+                query=query, profiler=Profiler(), wall_start=start, ordinal=index
+            )
+            for index, query in enumerate(queries)
         ]
         for level in plan.levels():
             for stage in level:
                 guard = stage.guard()
-                pending = [state for state in states if guard(state)]
+                pending = [
+                    state
+                    for state in states
+                    if state.fatal_error is None and guard(state)
+                ]
                 if not pending:
                     continue
                 service = self.services[stage.service]
-                responses = service.call_batch(
+                outcomes = self._dispatch_batch(
+                    service,
                     [self._request(stage, state) for state in pending],
-                    backend=backend,
-                    workers=workers,
+                    backend,
+                    workers,
                 )
-                for state, response in zip(pending, responses):
-                    state.profiler.profile.merge(response.profile)
+                for state, outcome in zip(pending, outcomes):
+                    if isinstance(outcome, _StageFailure):
+                        state.failures[service.label] = outcome.code
+                        if stage.service in FATAL_SERVICES:
+                            if on_error == RAISE:
+                                raise outcome.error
+                            state.fatal_error = outcome.error
+                        continue
+                    state.profiler.profile.merge(outcome.profile)
                     if stage.record:
-                        state.service_seconds[service.label] = response.stats.seconds
-                    self._absorb(stage, state, response.payload)
+                        state.service_seconds[service.label] = outcome.stats.seconds
+                    self._absorb(stage, state, outcome.payload)
         return [self._build_response(state) for state in states]
+
+    def _dispatch_batch(
+        self,
+        service: Service,
+        requests: List[ServiceRequest],
+        backend: str,
+        workers: Optional[int],
+    ) -> List[Union[ServiceResponse, _StageFailure]]:
+        """One stage's cross-query micro-batch, with per-item failure capture.
+
+        A single query's failure must degrade that query alone, so the
+        mapped callable converts :class:`~repro.errors.SiriusError` into a
+        :class:`_StageFailure` marker instead of letting one exception kill
+        the whole backend dispatch (which is what ``Service.call_batch``
+        would do).  Successful stats are re-stamped with the batch size,
+        matching ``call_batch``'s accounting.
+        """
+        def call_one(request: ServiceRequest):
+            try:
+                return service(request)
+            except SiriusError as exc:
+                return _StageFailure(code=exc.code, error=exc)
+
+        resolved = get_backend(backend)
+        outcomes = resolved.map(call_one, requests, workers=workers)
+        stamped: List[Union[ServiceResponse, _StageFailure]] = []
+        for outcome in outcomes:
+            if isinstance(outcome, _StageFailure):
+                stamped.append(outcome)
+                continue
+            stamped.append(
+                ServiceResponse(
+                    payload=outcome.payload,
+                    stats=ServiceStats(
+                        service=outcome.stats.service,
+                        seconds=outcome.stats.seconds,
+                        batch_size=len(requests),
+                    ),
+                    profile=outcome.profile,
+                )
+            )
+        return stamped
 
 
 def build_executor(

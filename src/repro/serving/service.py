@@ -38,10 +38,17 @@ class ServiceRequest:
     question string for QA, an ``Image`` for IMM); ``query`` optionally
     carries the originating :class:`~repro.core.query.IPAQuery` for
     services that need surrounding context.
+
+    ``ordinal`` is the query's position in its ``run_all`` stream and
+    ``attempt`` the retry attempt number — together the deterministic key
+    the resilience layer uses to seed jitter and replay injected faults
+    identically on every backend (see :mod:`repro.serving.faults`).
     """
 
     payload: Any
     query: Any = None
+    ordinal: int = 0
+    attempt: int = 0
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,11 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["demo", "--asr-backend", "tpu"])
 
+    def test_chaos_seed_flag(self):
+        args = build_parser().parse_args(["serve-bench", "--chaos", "42"])
+        assert args.chaos == 42
+        assert build_parser().parse_args(["serve-bench"]).chaos is None
+
 
 class TestCommands:
     def test_suite_command_runs(self, capsys):
@@ -60,3 +65,11 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Serving throughput" in output
         assert "batched speedup over sequential" in output
+
+    def test_serve_bench_chaos_runs_and_replays(self, capsys):
+        assert main(["serve-bench", "--chaos", "42", "--queries", "6",
+                     "--mix", "all"]) == 0
+        output = capsys.readouterr().out
+        assert "Chaos serving (seed=42" in output
+        assert "available (ok+degraded)" in output
+        assert "replay determinism: ok" in output

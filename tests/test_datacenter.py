@@ -269,3 +269,41 @@ class TestServiceBackedSimulation:
 
         with pytest.raises(ConfigurationError):
             live_service_sampler(lambda q: q, [])
+
+    def test_simulate_serving_degraded_mode(self, sirius_pipeline, input_set):
+        """The degraded-mode arrival path: arrivals served by a resilient
+        executor under fault injection report availability and goodput."""
+        from repro.datacenter import ServingSimulationResult, simulate_serving
+        from repro.serving import (
+            default_chaos_plan,
+            default_policies,
+            resilient_executor,
+        )
+
+        executor = resilient_executor(
+            sirius_pipeline.serving, default_policies(seed=11),
+            default_chaos_plan(11),
+        )
+        executor.warmup()
+        counter = {"next": 0}
+
+        def process(query):
+            ordinal = counter["next"]
+            counter["next"] += 1
+            return executor.run(query, ordinal=ordinal, on_error="degrade")
+
+        result = simulate_serving(
+            process,
+            input_set.voice_queries[:4],
+            arrival_rate=0.5,
+            n_queries=20,
+            seed=3,
+            classify_outcomes=True,
+        )
+        assert isinstance(result, ServingSimulationResult)
+        assert result.n_arrivals == 20
+        assert result.n_ok + result.n_degraded + result.n_failed == 20
+        assert 0.0 <= result.goodput <= result.availability <= 1.0
+        # The default chaos plan always bites somewhere in 20 arrivals.
+        assert result.n_degraded + result.n_failed > 0
+        assert result.mean_response_time > 0

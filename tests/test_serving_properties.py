@@ -1,0 +1,263 @@
+"""Property-based tests for the serving layer (hypothesis).
+
+Randomized structural checks the example-based suites cannot cover:
+
+- **plan compilation** never accepts a cyclic plan, and for every valid
+  random DAG the Kahn waves of :meth:`QueryPlan.levels` are a topological
+  order (each stage strictly after all of its dependencies) and
+  :meth:`QueryPlan.order` is a permutation of the declared stages;
+- **retry/backoff invariants**: the unjittered schedule is monotone
+  non-decreasing and capped, and every jittered delay stays inside the
+  ``raw * [1 - jitter, 1 + jitter]`` envelope, deterministically per
+  ``(seed, service, ordinal)``;
+- **fault plans** are pure functions of ``(seed, service, ordinal,
+  attempt)`` with window kinds (flap/outage) matching their arithmetic
+  definition exactly.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.serving import FaultPlan, FaultRule, PlanStage, QueryPlan, RetryPolicy
+from repro.serving.faults import ERROR, FAULT_KINDS, FLAP, LATENCY, OUTAGE
+from repro.serving.resilience import backoff_rng
+
+#: Services PlanStage may reference (request builders exist for these).
+SERVICES = ("asr", "classify", "qa", "imm")
+
+
+# -- strategies --------------------------------------------------------------------
+
+
+@st.composite
+def acyclic_plans(draw):
+    """A random DAG: edges only point from later stages to earlier ones
+    (``after`` references stages declared before), so the plan is acyclic
+    by construction."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    names = [f"s{i}" for i in range(n)]
+    stages = []
+    for i, name in enumerate(names):
+        deps = draw(
+            st.lists(st.sampled_from(names[:i]), unique=True, max_size=i)
+            if i
+            else st.just([])
+        )
+        stages.append(
+            PlanStage(
+                name=name,
+                service=draw(st.sampled_from(SERVICES)),
+                after=tuple(deps),
+            )
+        )
+    return QueryPlan(name="random", stages=tuple(stages))
+
+
+@st.composite
+def cyclic_stage_sets(draw):
+    """Stages containing at least one genuine dependency cycle."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    names = [f"s{i}" for i in range(n)]
+    cycle_len = draw(st.integers(min_value=2, max_value=n))
+    cycle = names[:cycle_len]
+    stages = []
+    for i, name in enumerate(names):
+        if i < cycle_len:
+            deps = (cycle[(i + 1) % cycle_len],)  # s0 -> s1 -> ... -> s0
+        else:
+            deps = tuple(draw(st.lists(st.sampled_from(names[:i]), unique=True,
+                                       max_size=2)))
+        stages.append(PlanStage(name=name, service="qa", after=deps))
+    return tuple(stages)
+
+
+retry_policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=8),
+    backoff_base=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    backoff_factor=st.floats(min_value=1.0, max_value=4.0, allow_nan=False),
+    backoff_max=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+    jitter=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+
+# -- plan compilation --------------------------------------------------------------
+
+
+class TestPlanProperties:
+    @settings(deadline=None, max_examples=200)
+    @given(plan=acyclic_plans())
+    def test_levels_topologically_order_every_random_dag(self, plan):
+        position = {}
+        for depth, level in enumerate(plan.levels()):
+            for stage in level:
+                position[stage.name] = depth
+        assert set(position) == {stage.name for stage in plan.stages}
+        for stage in plan.stages:
+            for dep in stage.after:
+                assert position[dep] < position[stage.name]
+
+    @settings(deadline=None, max_examples=200)
+    @given(plan=acyclic_plans())
+    def test_order_is_a_permutation_respecting_dependencies(self, plan):
+        order = plan.order()
+        assert sorted(s.name for s in order) == sorted(s.name for s in plan.stages)
+        seen = set()
+        for stage in order:
+            assert set(stage.after) <= seen
+            seen.add(stage.name)
+
+    @settings(deadline=None, max_examples=100)
+    @given(stages=cyclic_stage_sets())
+    def test_cyclic_plans_never_compile(self, stages):
+        with pytest.raises(ConfigurationError):
+            QueryPlan(name="cyclic", stages=stages)
+
+    @settings(deadline=None, max_examples=100)
+    @given(plan=acyclic_plans(), data=st.data())
+    def test_mutating_any_stage_into_a_cycle_is_rejected(self, plan, data):
+        """Random DAG mutation: pick a victim stage and a target at or before
+        it, then add the back edge ``target -> victim`` (and, when they are
+        distinct, the forward edge ``victim -> target``), closing a cycle —
+        compilation must refuse every such mutated plan."""
+        index = data.draw(st.integers(min_value=0,
+                                      max_value=len(plan.stages) - 1))
+        target = data.draw(st.integers(min_value=0, max_value=index))
+        mutated = list(plan.stages)
+
+        def add_dep(at, dep_name):
+            stage = mutated[at]
+            mutated[at] = PlanStage(
+                name=stage.name, service=stage.service,
+                after=tuple(sorted(set(stage.after) | {dep_name})),
+            )
+
+        add_dep(target, plan.stages[index].name)
+        if target != index:
+            add_dep(index, plan.stages[target].name)
+        with pytest.raises(ConfigurationError):
+            QueryPlan(name="mutated", stages=tuple(mutated))
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueryPlan(name="dup", stages=(
+                PlanStage(name="a", service="qa"),
+                PlanStage(name="a", service="imm"),
+            ))
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueryPlan(name="dangling", stages=(
+                PlanStage(name="a", service="qa", after=("ghost",)),
+            ))
+
+
+# -- retry / backoff invariants ----------------------------------------------------
+
+
+class TestRetryProperties:
+    @settings(deadline=None, max_examples=300)
+    @given(policy=retry_policies)
+    def test_raw_schedule_monotone_and_capped(self, policy):
+        raw = [policy.raw_delay(i) for i in range(policy.max_attempts - 1)]
+        assert all(b >= a for a, b in zip(raw, raw[1:]))
+        assert all(0.0 <= delay <= policy.backoff_max for delay in raw)
+
+    @settings(deadline=None, max_examples=300)
+    @given(policy=retry_policies,
+           seed=st.integers(min_value=0, max_value=2**31),
+           ordinal=st.integers(min_value=0, max_value=10_000))
+    def test_jittered_schedule_within_envelope_and_bounded(
+        self, policy, seed, ordinal
+    ):
+        schedule = policy.schedule(seed=seed, service="qa", ordinal=ordinal)
+        assert len(schedule) == policy.max_attempts - 1
+        for i, delay in enumerate(schedule):
+            raw = policy.raw_delay(i)
+            assert delay >= 0.0
+            assert raw * (1.0 - policy.jitter) - 1e-12 <= delay
+            assert delay <= raw * (1.0 + policy.jitter) + 1e-12
+            assert delay <= policy.backoff_max * (1.0 + policy.jitter) + 1e-12
+
+    @settings(deadline=None, max_examples=100)
+    @given(policy=retry_policies,
+           seed=st.integers(min_value=0, max_value=2**31),
+           ordinal=st.integers(min_value=0, max_value=10_000))
+    def test_schedule_is_deterministic(self, policy, seed, ordinal):
+        first = policy.schedule(seed=seed, service="imm", ordinal=ordinal)
+        second = policy.schedule(seed=seed, service="imm", ordinal=ordinal)
+        assert first == second
+
+    @settings(deadline=None, max_examples=100)
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           ordinal=st.integers(min_value=0, max_value=10_000))
+    def test_backoff_rng_streams_are_independent_per_service(self, seed, ordinal):
+        a = backoff_rng(seed, "qa", ordinal).random()
+        b = backoff_rng(seed, "qa", ordinal).random()
+        assert a == b  # same key, same stream
+        assert isinstance(backoff_rng(seed, "imm", ordinal), random.Random)
+
+
+# -- fault-plan purity -------------------------------------------------------------
+
+
+fault_rules = st.one_of(
+    st.builds(FaultRule, kind=st.just(ERROR),
+              rate=st.floats(min_value=0.0, max_value=1.0, allow_nan=False)),
+    st.builds(FaultRule, kind=st.just(LATENCY),
+              rate=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+              seconds=st.floats(min_value=0.001, max_value=10.0,
+                                allow_nan=False)),
+    st.builds(FaultRule, kind=st.just(FLAP),
+              on=st.integers(min_value=1, max_value=5),
+              off=st.integers(min_value=0, max_value=5)),
+    st.builds(FaultRule, kind=st.just(OUTAGE),
+              start=st.integers(min_value=0, max_value=20),
+              stop=st.integers(min_value=21, max_value=40)),
+)
+
+
+class TestFaultPlanProperties:
+    @settings(deadline=None, max_examples=150)
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           rules=st.lists(fault_rules, min_size=1, max_size=4),
+           ordinal=st.integers(min_value=0, max_value=200),
+           attempt=st.integers(min_value=0, max_value=4))
+    def test_fault_for_is_a_pure_function(self, seed, rules, ordinal, attempt):
+        plan = FaultPlan(seed=seed, rules={"qa": tuple(rules)})
+        twin = FaultPlan(seed=seed, rules={"qa": tuple(rules)})
+        assert (plan.fault_for("qa", ordinal, attempt)
+                == twin.fault_for("qa", ordinal, attempt))
+
+    @settings(deadline=None, max_examples=150)
+    @given(on=st.integers(min_value=1, max_value=6),
+           off=st.integers(min_value=0, max_value=6),
+           ordinal=st.integers(min_value=0, max_value=500))
+    def test_flap_fires_exactly_on_its_window_arithmetic(self, on, off, ordinal):
+        plan = FaultPlan(rules={"imm": (FaultRule(kind=FLAP, on=on, off=off),)})
+        fired = plan.fault_for("imm", ordinal, 0) is not None
+        assert fired == (ordinal % (on + off) < on)
+
+    @settings(deadline=None, max_examples=150)
+    @given(start=st.integers(min_value=0, max_value=50),
+           length=st.integers(min_value=1, max_value=50),
+           ordinal=st.integers(min_value=0, max_value=200))
+    def test_outage_fires_exactly_inside_its_window(self, start, length, ordinal):
+        rule = FaultRule(kind=OUTAGE, start=start, stop=start + length)
+        plan = FaultPlan(rules={"asr": (rule,)})
+        fired = plan.fault_for("asr", ordinal, 0) is not None
+        assert fired == (start <= ordinal < start + length)
+
+    def test_every_declared_kind_is_constructible(self):
+        for kind in FAULT_KINDS:
+            kwargs = {"kind": kind}
+            if kind == LATENCY:
+                kwargs["seconds"] = 1.0
+            if kind == FLAP:
+                kwargs["on"] = 1
+            if kind == OUTAGE:
+                kwargs["stop"] = 1
+            assert FaultRule(**kwargs).kind == kind
