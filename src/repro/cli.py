@@ -6,7 +6,9 @@ Subcommands::
     repro demo [--asr-backend dnn] [--limit 10]
     repro suite [--scale 0.25] [--workers 4]
     repro serve-bench [--queries 16] [--backend process] [--workers 2]
-    repro serve-bench --chaos 42 [--queries 16]
+    repro serve-bench --trace spans.jsonl --chrome-trace trace.json --metrics
+    repro serve-bench --chaos 42 [--queries 16] [--trace spans.jsonl]
+    repro trace-report spans.jsonl [--limit 3] [--chrome trace.json] [--mm1 0.7]
     repro design
     repro wer [--noise 0.0 0.05 0.1]
     repro lint [paths ...] [--format json] [--fail-on warning]
@@ -102,19 +104,27 @@ def _cmd_chaos_bench(args: argparse.Namespace, pipeline, queries) -> int:
 
     Runs the stream twice through *freshly wrapped* resilient services (same
     seed, fresh breaker state) and checks the outcomes replay identically —
-    the determinism contract the chaos test suite locks down.
+    the determinism contract the chaos test suite locks down.  With
+    ``--trace`` the runs are traced too, the span forests are compared
+    (IDs, parentage, attributes — wall times excluded), and the first run's
+    *deterministic* (timing-stripped) export is written, so two invocations
+    with the same seed produce byte-identical trace files.
     """
     from collections import Counter
 
     from repro.analysis import format_table
+    from repro.obs import collect_spans, to_jsonl, write_chrome_trace
     from repro.serving import default_chaos_plan, default_policies, resilient_executor
 
     plan = default_chaos_plan(args.chaos)
+    tracing = bool(args.trace or args.chrome_trace or args.metrics)
 
     def run_once():
         executor = resilient_executor(
             pipeline.serving, default_policies(seed=args.chaos), plan
         )
+        if tracing:
+            executor.trace_seed = args.chaos
         executor.warmup()
         return executor.run_all(queries, on_error="degrade")
 
@@ -122,6 +132,30 @@ def _cmd_chaos_bench(args: argparse.Namespace, pipeline, queries) -> int:
     second = run_once()
     if _chaos_fingerprint(first) != _chaos_fingerprint(second):
         print("warning: chaos outcomes did not replay identically", file=sys.stderr)
+
+    spans_replayed = True
+    if tracing:
+        spans = collect_spans(first)
+        deterministic = to_jsonl(spans, timing=False)
+        spans_replayed = (
+            deterministic == to_jsonl(collect_spans(second), timing=False)
+        )
+        if args.trace:
+            with open(args.trace, "w") as handle:
+                handle.write(deterministic)
+            print(f"wrote {len(spans)} spans (deterministic export) "
+                  f"to {args.trace}", file=sys.stderr)
+        if args.chrome_trace:
+            n_events = write_chrome_trace(spans, args.chrome_trace)
+            print(f"wrote {n_events} trace events to {args.chrome_trace}",
+                  file=sys.stderr)
+        if args.metrics:
+            from repro.obs import format_service_summary, metrics_from_spans
+
+            print(format_service_summary(
+                metrics_from_spans(spans),
+                title=f"Chaos latency (seed={args.chaos}, from spans)",
+            ))
 
     n = len(first)
     n_failed = sum(1 for r in first if r.failed)
@@ -146,7 +180,9 @@ def _cmd_chaos_bench(args: argparse.Namespace, pipeline, queries) -> int:
               + ", ".join(f"{key}×{count}" for key, count in sorted(codes.items())))
     replayed = _chaos_fingerprint(first) == _chaos_fingerprint(second)
     print(f"replay determinism: {'ok' if replayed else 'FAILED'}")
-    return 0 if replayed else 2
+    if tracing:
+        print(f"span replay determinism: {'ok' if spans_replayed else 'FAILED'}")
+    return 0 if (replayed and spans_replayed) else 2
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
@@ -165,6 +201,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     queries = [base[i % len(base)] for i in range(args.queries)]
     if args.chaos is not None:
         return _cmd_chaos_bench(args, pipeline, queries)
+    from repro.obs import (
+        MetricsRegistry,
+        collect_spans,
+        format_service_summary,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
     executor = pipeline.serving
     executor.warmup()
 
@@ -174,9 +218,19 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         return time.perf_counter() - start, responses
 
     sequential_s, sequential = timed()
-    batched_s, batched = timed(
-        backend=args.backend, batch_stages=True, workers=args.workers
-    )
+    # Only the batched run is traced/measured: tracing the reference run too
+    # would double-count every query in the exported forest and metrics.
+    registry = MetricsRegistry() if args.metrics else None
+    if args.trace or args.chrome_trace:
+        executor.trace_seed = 0
+    executor.metrics = registry
+    try:
+        batched_s, batched = timed(
+            backend=args.backend, batch_stages=True, workers=args.workers
+        )
+    finally:
+        executor.trace_seed = None
+        executor.metrics = None
     if any(a.answer != b.answer for a, b in zip(sequential, batched)):
         print("warning: batched answers diverge from sequential", file=sys.stderr)
     rows = [
@@ -190,6 +244,29 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         ["Mode", "Backend", "Seconds", "Queries/s"], rows,
     ))
     print(f"batched speedup over sequential: {sequential_s / batched_s:.2f}x")
+    spans = collect_spans(batched)
+    if args.trace:
+        n_spans = write_jsonl(spans, args.trace)
+        print(f"wrote {n_spans} spans to {args.trace}", file=sys.stderr)
+    if args.chrome_trace:
+        n_events = write_chrome_trace(spans, args.chrome_trace)
+        print(f"wrote {n_events} trace events to {args.chrome_trace}",
+              file=sys.stderr)
+    if registry is not None:
+        print(format_service_summary(
+            registry, title="Serving latency (batched run)"
+        ))
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs import read_jsonl, render_report, write_chrome_trace
+
+    spans = read_jsonl(args.path)
+    if args.chrome:
+        n_events = write_chrome_trace(spans, args.chrome)
+        print(f"wrote {n_events} trace events to {args.chrome}", file=sys.stderr)
+    print(render_report(spans, limit=args.limit, mm1_load=args.mm1))
     return 0
 
 
@@ -282,7 +359,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the seeded chaos bench instead: availability/goodput under "
              "the default fault plan, with a replay-determinism check",
     )
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="export spans as JSONL (chaos mode writes the deterministic, "
+             "timing-stripped form so replays are byte-identical)",
+    )
+    serve.add_argument(
+        "--chrome-trace", default=None, metavar="PATH",
+        help="export spans as Chrome trace-event JSON (chrome://tracing)",
+    )
+    serve.add_argument(
+        "--metrics", action="store_true",
+        help="print per-service latency histograms (count/mean/p50/p95/p99)",
+    )
     serve.set_defaults(func=_cmd_serve_bench)
+
+    trace_report = sub.add_parser(
+        "trace-report",
+        help="render waterfalls and tail percentiles from a span export",
+    )
+    trace_report.add_argument("path", help="JSONL span export to read")
+    trace_report.add_argument(
+        "--limit", type=int, default=0,
+        help="cap the number of query waterfalls rendered (0 = all)",
+    )
+    trace_report.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="also convert the export to Chrome trace-event JSON",
+    )
+    trace_report.add_argument(
+        "--mm1", type=float, default=None, metavar="LOAD",
+        help="append the measured-histogram vs analytic M/M/1 comparison "
+             "at this utilization (0 < LOAD < 1)",
+    )
+    trace_report.set_defaults(func=_cmd_trace_report)
 
     design = sub.add_parser("design", help="print the datacenter design study")
     design.set_defaults(func=_cmd_design)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.asr.audio import Waveform
 from repro.profiling import Profile
@@ -68,6 +68,9 @@ class SiriusResponse:
     #: Failing service label -> stable error code (``repro.errors``), e.g.
     #: ``{"IMM": "CIRCUIT_OPEN"}``.  Empty for a clean response.
     failures: Dict[str, str] = field(default_factory=dict)
+    #: Finished :class:`repro.obs.trace.Span` tuple when the run was traced
+    #: (loosely typed: the core layer does not import the obs package).
+    spans: Tuple[Any, ...] = ()
 
     @property
     def failed(self) -> bool:

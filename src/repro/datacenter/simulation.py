@@ -19,6 +19,7 @@ against the implementation itself rather than any recorded distribution.
 from __future__ import annotations
 
 import heapq
+import math
 import random
 import time
 from dataclasses import dataclass
@@ -36,6 +37,7 @@ class SimulationResult:
     p95_response_time: float
     mean_waiting_time: float
     utilization: float
+    p99_response_time: float = 0.0
 
     @property
     def throughput_ok(self) -> bool:
@@ -206,6 +208,7 @@ def simulate_serving(
         p95_response_time=base.p95_response_time,
         mean_waiting_time=base.mean_waiting_time,
         utilization=base.utilization,
+        p99_response_time=base.p99_response_time,
         n_ok=outcomes["ok"],
         n_degraded=outcomes["degraded"],
         n_failed=outcomes["failed"],
@@ -261,13 +264,79 @@ def simulate_queue(
     horizon = max(server_free) if server_free else 1.0
     kept_sorted = sorted(kept)
     p95 = kept_sorted[min(int(0.95 * len(kept_sorted)), len(kept_sorted) - 1)]
+    p99 = kept_sorted[min(int(0.99 * len(kept_sorted)), len(kept_sorted) - 1)]
     return SimulationResult(
         n_completed=len(kept),
         mean_response_time=sum(kept) / len(kept),
         p95_response_time=p95,
         mean_waiting_time=sum(kept_wait) / len(kept_wait),
         utilization=min(busy_time / (n_servers * horizon), 1.0),
+        p99_response_time=p99,
     )
+
+
+def histogram_sampler(histogram, seed: int = 0) -> Callable[[], float]:
+    """Service-time sampler over a measured latency histogram.
+
+    ``histogram`` is anything exposing raw ``samples`` — a live
+    :class:`repro.obs.metrics.Histogram` or a picklable
+    :class:`repro.obs.metrics.HistogramSnapshot` from a trace report —
+    so measured serving distributions plug straight into the queue model.
+    Non-positive samples (degenerately fast stubbed services) are clamped
+    to a nanosecond: a zero service time would break utilization math.
+    """
+    samples = [max(value, 1e-9) for value in histogram.samples]
+    return empirical_sampler(samples, seed=seed)
+
+
+def simulate_from_histogram(
+    histogram,
+    load: float,
+    n_queries: int = 5000,
+    seed: int = 42,
+    n_servers: int = 1,
+    warmup_fraction: float = 0.1,
+) -> SimulationResult:
+    """Queue simulation fed by a *measured* latency histogram (Fig 8 → 17).
+
+    The arrival rate is set so a single server would sit at utilization
+    ``load`` given the histogram's measured mean — the same
+    parameterization as the analytic M/M/1 curve, but with service times
+    drawn from the real distribution instead of the exponential
+    assumption.  Compare against :func:`mm1_percentile`.
+    """
+    if not 0 < load < 1:
+        raise ConfigurationError("load must be in (0, 1)")
+    samples = list(histogram.samples)
+    if not samples:
+        raise ConfigurationError("histogram has no samples to simulate from")
+    mean = max(math.fsum(samples) / len(samples), 1e-9)
+    return simulate_queue(
+        arrival_rate=load / (mean * n_servers),
+        service_sampler=histogram_sampler(histogram, seed=seed + 1),
+        n_servers=n_servers,
+        n_queries=n_queries,
+        seed=seed,
+        warmup_fraction=warmup_fraction,
+    )
+
+
+def mm1_percentile(mean_service: float, load: float, p: float) -> float:
+    """Analytic M/M/1 response-time percentile.
+
+    Response time in an M/M/1 queue is exponential with mean
+    ``T = s / (1 - rho)``, so the ``p``-th percentile is
+    ``-T * ln(1 - p/100)`` — the closed form the measured-histogram
+    simulation is compared against in ``repro trace-report --mm1``.
+    """
+    if mean_service <= 0:
+        raise ConfigurationError("mean service time must be positive")
+    if not 0 < load < 1:
+        raise ConfigurationError("load must be in (0, 1)")
+    if not 0 <= p < 100:
+        raise ConfigurationError("percentile must be in [0, 100)")
+    mean_response = mean_service / (1.0 - load)
+    return -mean_response * math.log(1.0 - p / 100.0)
 
 
 def validate_mm1(

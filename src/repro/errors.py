@@ -130,6 +130,17 @@ class InjectedFaultError(ServiceError):
             self.code = code
 
 
+class TraceError(SiriusError):
+    """The tracing/metrics layer was used outside its contract.
+
+    Raised e.g. for starting a span with no enclosing trace, ending a span
+    that is not the innermost open one on its thread, merging histograms
+    with mismatched bucket boundaries, or reading a malformed span export.
+    """
+
+    code = "TRACE"
+
+
 class StatcheckError(SiriusError):
     """The statcheck analyzer was misconfigured or could not run.
 

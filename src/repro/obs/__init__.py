@@ -1,0 +1,115 @@
+"""Observability: tracing, metrics, and exporters for the serving stack.
+
+The paper's datacenter argument is built from measured latency
+distributions — Figure 8's p95 query variability, Figure 9's component
+breakdown, Figure 17's queueing model.  This package is the layer that
+produces those measurements from a live run:
+
+- :mod:`repro.obs.trace` — :class:`Span`/:class:`Tracer` with
+  deterministic seeded IDs (chaos replays export byte-identical span
+  forests) propagated through the plan executor, every execution backend,
+  the resilience wrappers, and down to profiler sections;
+- :mod:`repro.obs.context` — the ambient (thread-local) tracer channel
+  that lets layers without shared signatures report into one trace;
+- :mod:`repro.obs.metrics` — counters and log-bucketed latency histograms
+  with exact percentile extraction and an associative/commutative
+  snapshot/merge protocol for process-backend aggregation;
+- :mod:`repro.obs.export` — JSONL span export (optionally
+  timing-stripped/deterministic) and Chrome trace-event export;
+- :mod:`repro.obs.report` — the ``repro trace-report`` renderer:
+  per-query waterfalls, per-service p50/p95/p99 summaries, and the
+  measured-histogram vs M/M/1 comparison.
+
+Wired into ``repro serve-bench --trace/--metrics`` and the
+``repro trace-report`` subcommand; see ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.context import annotate, current_tracer, use_tracer
+from repro.obs.export import (
+    read_jsonl,
+    span_from_dict,
+    span_to_dict,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    E2E_HISTOGRAM,
+    Counter,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    log_buckets,
+    merge_histograms,
+    merge_snapshots,
+    percentile,
+    record_response,
+    record_responses,
+    service_histogram_name,
+    wait_histogram_name,
+)
+from repro.obs.report import (
+    format_mm1_comparison,
+    format_service_summary,
+    format_waterfall,
+    metrics_from_spans,
+    render_report,
+)
+from repro.obs.trace import (
+    ATTEMPT,
+    QUERY,
+    SECTION,
+    SERVICE,
+    Span,
+    TraceContext,
+    Tracer,
+    collect_spans,
+    span_id_for,
+    trace_id_for,
+)
+
+__all__ = [
+    "ATTEMPT",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "E2E_HISTOGRAM",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "QUERY",
+    "SECTION",
+    "SERVICE",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "annotate",
+    "collect_spans",
+    "current_tracer",
+    "format_mm1_comparison",
+    "format_service_summary",
+    "format_waterfall",
+    "log_buckets",
+    "merge_histograms",
+    "merge_snapshots",
+    "metrics_from_spans",
+    "percentile",
+    "read_jsonl",
+    "record_response",
+    "record_responses",
+    "render_report",
+    "service_histogram_name",
+    "span_from_dict",
+    "span_id_for",
+    "span_to_dict",
+    "to_chrome_trace",
+    "to_jsonl",
+    "trace_id_for",
+    "use_tracer",
+    "wait_histogram_name",
+    "write_chrome_trace",
+    "write_jsonl",
+]

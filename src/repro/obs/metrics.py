@@ -1,0 +1,348 @@
+"""Counters and latency histograms with a snapshot/merge protocol.
+
+The paper's serving argument is a statement about latency *distributions*
+— Figure 8's 95th-percentile variability and the TPU paper's
+p99-under-load — so the metrics layer is built around histograms, not
+scalar means.  A :class:`Histogram` keeps two views of the same data:
+
+- **log-spaced bucket counts** (the cheap, boundable view a production
+  system exports — default boundaries cover 100 µs to ~100 s, five
+  buckets per decade), and
+- **the raw samples themselves**, so percentile extraction is *exact*
+  (numpy-compatible linear interpolation), which is what lets tests check
+  the reported p50/p95/p99 against an independent computation.
+
+**Snapshot/merge.**  Process-backend workers each accumulate into their
+own registry; the picklable :class:`MetricsSnapshot` crosses the pipe and
+merges into the parent.  Merge is exact, associative, and commutative:
+bucket counts add, samples combine as a *sorted* multiset, and the sum is
+recomputed with ``math.fsum`` over that canonical multiset — so any merge
+tree over the same observations yields byte-identical snapshots (the
+property suite locks this down).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, TraceError
+
+
+def log_buckets(
+    lowest: float = 1e-4,
+    highest: float = 100.0,
+    per_decade: int = 5,
+) -> Tuple[float, ...]:
+    """Log-spaced histogram boundaries from ``lowest`` to >= ``highest``.
+
+    Boundaries are ``lowest * 10**(k/per_decade)`` — a geometric ladder
+    whose relative resolution is constant across six decades of latency,
+    which is what a tail-latency histogram needs (1 ms and 1 s both get
+    ``per_decade`` buckets per decade).
+    """
+    if lowest <= 0 or highest <= lowest:
+        raise ConfigurationError("need 0 < lowest < highest")
+    if per_decade < 1:
+        raise ConfigurationError("per_decade must be >= 1")
+    bounds: List[float] = []
+    k = 0
+    while True:
+        bound = lowest * 10.0 ** (k / per_decade)
+        bounds.append(bound)
+        if bound >= highest:
+            break
+        k += 1
+    return tuple(bounds)
+
+
+DEFAULT_BUCKETS = log_buckets()
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Exact percentile with linear interpolation (numpy's default).
+
+    ``p`` in [0, 100].  Returns 0.0 for an empty sample set so reports on
+    quiet services render without special-casing.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ConfigurationError("percentile must be in [0, 100]")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = (len(ordered) - 1) * (p / 100.0)
+    lower = int(math.floor(rank))
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] + fraction * (ordered[upper] - ordered[lower])
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Picklable, mergeable state of one histogram.
+
+    ``samples`` is kept sorted — the canonical multiset representation that
+    makes merging order-independent down to the byte.
+    """
+
+    name: str
+    buckets: Tuple[float, ...]
+    counts: Tuple[int, ...]        #: len(buckets) + 1 (last = overflow)
+    samples: Tuple[float, ...]     #: sorted raw observations
+    total: float                   #: fsum of samples
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        return percentile(self.samples, p)
+
+
+def merge_histograms(a: HistogramSnapshot, b: HistogramSnapshot) -> HistogramSnapshot:
+    """Combine two snapshots of the same histogram, exactly.
+
+    Associative and commutative: counts add, samples merge as a sorted
+    multiset, and the total is recomputed from that multiset with
+    ``math.fsum`` (never ``a.total + b.total``, whose float rounding would
+    depend on merge order).
+    """
+    if a.name != b.name:
+        raise TraceError(f"cannot merge histograms {a.name!r} and {b.name!r}")
+    if a.buckets != b.buckets:
+        raise TraceError(
+            f"histogram {a.name!r} snapshots have mismatched bucket boundaries"
+        )
+    samples = tuple(sorted(a.samples + b.samples))
+    return HistogramSnapshot(
+        name=a.name,
+        buckets=a.buckets,
+        counts=tuple(x + y for x, y in zip(a.counts, b.counts)),
+        samples=samples,
+        total=math.fsum(samples),
+    )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Picklable state of a whole registry (counters + histograms)."""
+
+    counters: Tuple[Tuple[str, int], ...] = ()
+    histograms: Tuple[HistogramSnapshot, ...] = ()
+
+    def counter_value(self, name: str) -> int:
+        for key, value in self.counters:
+            if key == name:
+                return value
+        return 0
+
+    def histogram_named(self, name: str) -> Optional[HistogramSnapshot]:
+        for histogram in self.histograms:
+            if histogram.name == name:
+                return histogram
+        return None
+
+
+def merge_snapshots(a: MetricsSnapshot, b: MetricsSnapshot) -> MetricsSnapshot:
+    """Combine two registry snapshots (associative, commutative, exact)."""
+    counters: Dict[str, int] = dict(a.counters)
+    for name, value in b.counters:
+        counters[name] = counters.get(name, 0) + value
+    histograms: Dict[str, HistogramSnapshot] = {h.name: h for h in a.histograms}
+    for histogram in b.histograms:
+        if histogram.name in histograms:
+            histograms[histogram.name] = merge_histograms(
+                histograms[histogram.name], histogram
+            )
+        else:
+            histograms[histogram.name] = histogram
+    return MetricsSnapshot(
+        counters=tuple(sorted(counters.items())),
+        histograms=tuple(
+            histograms[name] for name in sorted(histograms)
+        ),
+    )
+
+
+class Counter:
+    """A monotonically increasing integer metric (thread-safe)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A log-bucketed latency histogram that also keeps its raw samples.
+
+    Thread-safe.  Bucket ``i`` counts observations in
+    ``(buckets[i-1], buckets[i]]`` (first bucket: ``<= buckets[0]``); the
+    final slot counts overflow beyond the last boundary.
+    """
+
+    def __init__(self, name: str, buckets: Optional[Sequence[float]] = None):
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must be strictly increasing"
+            )
+        self.name = name
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._samples: List[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ConfigurationError("latency observations must be >= 0")
+        slot = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[slot] += 1
+            self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    @property
+    def samples(self) -> Tuple[float, ...]:
+        with self._lock:
+            return tuple(self._samples)
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return math.fsum(self._samples) / len(self._samples) if self._samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        return percentile(self.samples, p)
+
+    def snapshot(self) -> HistogramSnapshot:
+        with self._lock:
+            samples = tuple(sorted(self._samples))
+            counts = tuple(self._counts)
+        return HistogramSnapshot(
+            name=self.name,
+            buckets=self.buckets,
+            counts=counts,
+            samples=samples,
+            total=math.fsum(samples),
+        )
+
+
+class MetricsRegistry:
+    """One process's named counters and histograms (thread-safe).
+
+    Workers snapshot their registry (:meth:`snapshot` → picklable), ship it
+    across the pipe, and the parent folds it in with :meth:`merge`; any
+    merge order yields the same state.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = Counter(name)
+                self._counters[name] = counter
+        return counter
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = Histogram(name, buckets=buckets)
+                self._histograms[name] = histogram
+        if buckets is not None and tuple(buckets) != histogram.buckets:
+            raise ConfigurationError(
+                f"histogram {name!r} already registered with different buckets"
+            )
+        return histogram
+
+    def histogram_names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._histograms))
+
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            counters = tuple(
+                sorted((name, c.value) for name, c in self._counters.items())
+            )
+            histograms = tuple(
+                self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            )
+        return MetricsSnapshot(counters=counters, histograms=histograms)
+
+    def merge(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a worker's snapshot into this registry."""
+        for name, value in snapshot.counters:
+            self.counter(name).inc(value)
+        for incoming in snapshot.histograms:
+            histogram = self.histogram(incoming.name, buckets=incoming.buckets)
+            for sample in incoming.samples:
+                histogram.observe(sample)
+
+
+# -- serving-stream recording -------------------------------------------------------
+
+#: Histogram/counter names the serving layer records under.
+E2E_HISTOGRAM = "serve.e2e.seconds"
+
+
+def service_histogram_name(label: str) -> str:
+    """Per-service latency histogram name for a service label."""
+    return f"serve.{label.lower()}.seconds"
+
+
+def wait_histogram_name(label: str) -> str:
+    """Per-service queueing-delay histogram name for a service label."""
+    return f"serve.{label.lower()}.wait_seconds"
+
+
+def record_response(registry: MetricsRegistry, response) -> None:
+    """Record one served query: end-to-end latency, per-service latencies,
+    and the ok/degraded/failed outcome counters.
+
+    Duck-typed over :class:`~repro.core.query.SiriusResponse`, so the
+    metrics layer needs no import of the core package.
+    """
+    registry.histogram(E2E_HISTOGRAM).observe(max(response.wall_seconds, 0.0))
+    for label, seconds in response.service_seconds.items():
+        registry.histogram(service_histogram_name(label)).observe(max(seconds, 0.0))
+    if getattr(response, "failed", False):
+        registry.counter("serve.failed").inc()
+    elif getattr(response, "degraded", False):
+        registry.counter("serve.degraded").inc()
+    else:
+        registry.counter("serve.ok").inc()
+
+
+def record_responses(registry: MetricsRegistry, responses: Sequence) -> None:
+    """Record a whole response stream (see :func:`record_response`)."""
+    for response in responses:
+        record_response(registry, response)

@@ -1,0 +1,221 @@
+"""Text reporting over span exports: waterfalls and percentile summaries.
+
+``repro trace-report`` renders two views of a span forest:
+
+- a **per-query waterfall** — the span tree, indented, with measured
+  durations, retry/fault annotations, and error codes, i.e. Figure 8's
+  "where did this query's time go" at a glance;
+- a **per-service histogram summary** — count, mean, and exact
+  p50/p95/p99 over the recorded service spans plus the end-to-end query
+  spans, the numbers the M/M/1 comparison (Figure 17 bridge) consumes.
+
+The percentile math lives in :mod:`repro.obs.metrics` (exact,
+numpy-compatible interpolation over raw samples); this module only groups
+spans into histograms and formats text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import (
+    E2E_HISTOGRAM,
+    MetricsRegistry,
+    service_histogram_name,
+)
+from repro.obs.trace import ATTEMPT, QUERY, SECTION, SERVICE, Span, sort_key
+
+#: Attributes surfaced inline in the waterfall, in display order.
+_WATERFALL_ATTRIBUTES = (
+    "attempts", "virtual_seconds", "fault.kind", "fault.code",
+    "breaker", "rejected", "degraded", "failed", "query_type",
+)
+
+
+def metrics_from_spans(
+    spans: Sequence[Span],
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Build latency histograms from a span forest.
+
+    Query spans feed the end-to-end histogram; service spans feed the
+    per-service ones (keyed by service label).  Wait times, where recorded,
+    feed the per-service wait histograms.  Attempt/section spans are
+    structure, not samples — retries would double-count their stage.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    from repro.obs.metrics import wait_histogram_name
+
+    for span in spans:
+        if span.kind == QUERY:
+            registry.histogram(E2E_HISTOGRAM).observe(span.duration)
+            if span.status == "error" or span.attributes.get("failed"):
+                registry.counter("serve.failed").inc()
+            elif span.attributes.get("degraded"):
+                registry.counter("serve.degraded").inc()
+            else:
+                registry.counter("serve.ok").inc()
+        elif span.kind == SERVICE:
+            label = span.service or span.name
+            registry.histogram(service_histogram_name(label)).observe(span.duration)
+            if span.wait:
+                registry.histogram(wait_histogram_name(label)).observe(span.wait)
+    return registry
+
+
+def _children_by_parent(spans: Sequence[Span]) -> Dict[str, List[Span]]:
+    children: Dict[str, List[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s.start, s.span_id))
+    return children
+
+
+def _span_line(span: Span, depth: int) -> str:
+    name = span.name if not span.service else f"{span.name} [{span.service}]"
+    parts = [f"{'  ' * depth}{name:<{max(28 - 2 * depth, 8)}}"
+             f"{span.duration * 1000:9.2f} ms"]
+    if span.wait:
+        parts.append(f"wait {span.wait * 1000:.2f} ms")
+    for key in _WATERFALL_ATTRIBUTES:
+        if key in span.attributes:
+            parts.append(f"{key.split('.')[-1]}={span.attributes[key]}")
+    if span.status != "ok":
+        parts.append(f"ERROR[{span.error_code or 'SIRIUS'}]")
+    return "  ".join(parts)
+
+
+def format_waterfall(spans: Sequence[Span], limit: int = 0) -> str:
+    """The per-query waterfall: one indented span tree per trace.
+
+    ``limit`` caps the number of queries rendered (0 = all); the summary
+    tables always cover every span regardless.
+    """
+    ordered = sorted(spans, key=sort_key)
+    children = _children_by_parent(ordered)
+    roots = sorted((s for s in ordered if not s.parent_id),
+                   key=lambda s: (s.ordinal, s.trace_id))
+    if limit:
+        roots = roots[:limit]
+    lines: List[str] = []
+    for root in roots:
+        lines.append(f"query #{root.ordinal}  trace={root.trace_id}")
+        stack: List[Tuple[Span, int]] = [(root, 0)]
+        while stack:
+            span, depth = stack.pop()
+            lines.append(_span_line(span, depth))
+            for child in reversed(children.get(span.span_id, ())):
+                stack.append((child, depth + 1))
+        lines.append("")
+    if not roots:
+        lines.append("(no root spans in export)")
+    return "\n".join(lines).rstrip()
+
+
+def summary_rows(registry: MetricsRegistry) -> List[List[str]]:
+    """Per-histogram summary rows: count, mean, p50/p95/p99 (milliseconds)."""
+    rows: List[List[str]] = []
+    for name in registry.histogram_names():
+        histogram = registry.histogram(name)
+        rows.append([
+            name,
+            str(histogram.count),
+            f"{histogram.mean * 1000:.2f}",
+            f"{histogram.percentile(50) * 1000:.2f}",
+            f"{histogram.percentile(95) * 1000:.2f}",
+            f"{histogram.percentile(99) * 1000:.2f}",
+        ])
+    return rows
+
+
+def format_service_summary(registry: MetricsRegistry, title: str = "Latency summary") -> str:
+    """The per-service latency table (count / mean / p50 / p95 / p99)."""
+    # Imported lazily: repro.analysis pulls in repro.profiling, which sits
+    # *below* the obs layer in the import graph (profiling consults the
+    # ambient trace context), so a module-level import would be circular.
+    from repro.analysis import format_table
+
+    rows = summary_rows(registry)
+    if not rows:
+        return f"{title}\n(no latency samples recorded)"
+    counters = {
+        name: registry.counter(name).value
+        for name in ("serve.ok", "serve.degraded", "serve.failed")
+        if registry.counter(name).value
+    }
+    table = format_table(
+        title,
+        ["Histogram", "Count", "Mean (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+        rows,
+    )
+    if counters:
+        outcome = ", ".join(f"{k.split('.')[1]}={v}" for k, v in sorted(counters.items()))
+        table += f"\noutcomes: {outcome}"
+    return table
+
+
+def format_mm1_comparison(
+    registry: MetricsRegistry,
+    load: float,
+    seed: int = 7,
+    title: str = "Measured vs M/M/1 prediction",
+) -> str:
+    """Empirical-histogram queueing vs the analytic M/M/1 model (Fig 17).
+
+    For each latency histogram with samples, simulates a single-server
+    queue at utilization ``load`` drawing service times from the *measured*
+    distribution, and prints its p50/p95/p99 next to the M/M/1 prediction
+    parameterized by the measured mean — the Figure 8/17 bridge.
+    """
+    from repro.analysis import format_table
+    from repro.datacenter.simulation import mm1_percentile, simulate_from_histogram
+
+    rows: List[List[str]] = []
+    for name in registry.histogram_names():
+        histogram = registry.histogram(name)
+        if histogram.count < 2 or histogram.mean <= 0:
+            continue
+        result = simulate_from_histogram(
+            histogram, load=load, n_queries=2000, seed=seed
+        )
+        mean = histogram.mean
+        rows.append([
+            name,
+            f"{result.p95_response_time * 1000:.2f}",
+            f"{mm1_percentile(mean, load, 95) * 1000:.2f}",
+            f"{result.p99_response_time * 1000:.2f}",
+            f"{mm1_percentile(mean, load, 99) * 1000:.2f}",
+        ])
+    if not rows:
+        return f"{title}\n(no histograms with enough samples)"
+    return format_table(
+        f"{title} (load={load:.2f})",
+        ["Histogram", "sim p95 (ms)", "M/M/1 p95 (ms)",
+         "sim p99 (ms)", "M/M/1 p99 (ms)"],
+        rows,
+    )
+
+
+def render_report(
+    spans: Sequence[Span],
+    limit: int = 0,
+    mm1_load: Optional[float] = None,
+) -> str:
+    """The full ``repro trace-report`` text: waterfall + summaries."""
+    registry = metrics_from_spans(spans)
+    sections = [
+        format_waterfall(spans, limit=limit),
+        format_service_summary(registry, title="Per-service latency (from spans)"),
+    ]
+    if mm1_load is not None:
+        sections.append(format_mm1_comparison(registry, load=mm1_load))
+    counts = {ATTEMPT: 0, SECTION: 0, SERVICE: 0, QUERY: 0}
+    for span in spans:
+        counts[span.kind] = counts.get(span.kind, 0) + 1
+    sections.append(
+        f"{len(spans)} spans: {counts.get(QUERY, 0)} queries, "
+        f"{counts.get(SERVICE, 0)} service calls, "
+        f"{counts.get(ATTEMPT, 0)} attempts, {counts.get(SECTION, 0)} sections"
+    )
+    return "\n\n".join(section for section in sections if section)

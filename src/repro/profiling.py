@@ -9,12 +9,14 @@ attributed to the innermost open section only, so component times sum to
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
 
 from repro.errors import ProfilerError
+from repro.obs.context import current_tracer
 
 
 @dataclass
@@ -64,10 +66,33 @@ class Profiler:
         self._clock = clock
         self._stack: List[str] = []
         self._entered_at: List[float] = []
+        #: Thread that opened the current outermost section (only meaningful
+        #: while sections are open; rebound on the next outermost entry).
+        self._owner: int = 0
         self.profile = Profile()
 
     @contextmanager
     def section(self, name: str) -> Iterator[None]:
+        thread = threading.get_ident()
+        if self._stack:
+            if thread != self._owner:
+                # The shared _stack/_entered_at would interleave two threads'
+                # sections and silently mis-attribute time; the executor gives
+                # every concurrent branch its own Profiler precisely to avoid
+                # this, so crossing threads here is always a caller bug.
+                raise ProfilerError(
+                    f"Profiler.section({name!r}) entered from a different "
+                    f"thread while section {self._stack[-1]!r} is open; "
+                    "concurrent work needs its own Profiler per thread"
+                )
+        else:
+            self._owner = thread
+        # A section inside an active trace is also a leaf span (the
+        # per-component timings of Figure 9, visible in the waterfall).
+        tracer = current_tracer()
+        span = None
+        if tracer is not None and tracer.current_span() is not None:
+            span = tracer.begin_span(name, kind="section")
         start = self._clock()
         # Charge the parent for time spent so far, then suspend it.
         if self._stack:
@@ -84,6 +109,8 @@ class Profiler:
             # Resume the parent's clock.
             if self._stack:
                 self._entered_at[-1] = end
+            if span is not None:
+                tracer.end_span(span)
 
     def reset(self) -> Profile:
         """Return the collected profile and start a fresh one.

@@ -42,11 +42,19 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.query import IPAQuery, QueryType, SiriusResponse
 from repro.errors import ConfigurationError, SiriusError
+from repro.obs.context import use_tracer
+from repro.obs.metrics import (
+    MetricsRegistry,
+    record_responses,
+    wait_histogram_name,
+)
+from repro.obs.trace import Tracer
 from repro.profiling import Profiler
 from repro.serving.backends import get_backend
 from repro.serving.faults import drain_virtual_seconds
@@ -89,23 +97,31 @@ class ExecutionState:
     fatal_error: Optional[SiriusError] = None
     #: Injected virtual latency accumulated across this query's stages.
     virtual_seconds: float = 0.0
+    #: This query's tracer / open root span / picklable parent coordinates
+    #: (all ``None`` when the executor runs untraced).
+    tracer: Any = None
+    root_span: Any = None
+    trace_ctx: Any = None
 
 
 def _asr_request(state: ExecutionState) -> ServiceRequest:
     return ServiceRequest(
-        payload=state.query.audio, query=state.query, ordinal=state.ordinal
+        payload=state.query.audio, query=state.query, ordinal=state.ordinal,
+        trace=state.trace_ctx, admitted_at=time.perf_counter(),
     )
 
 
 def _text_request(state: ExecutionState) -> ServiceRequest:
     return ServiceRequest(
-        payload=state.transcript, query=state.query, ordinal=state.ordinal
+        payload=state.transcript, query=state.query, ordinal=state.ordinal,
+        trace=state.trace_ctx, admitted_at=time.perf_counter(),
     )
 
 
 def _image_request(state: ExecutionState) -> ServiceRequest:
     return ServiceRequest(
-        payload=state.query.image, query=state.query, ordinal=state.ordinal
+        payload=state.query.image, query=state.query, ordinal=state.ordinal,
+        trace=state.trace_ctx, admitted_at=time.perf_counter(),
     )
 
 
@@ -123,6 +139,8 @@ class _StageFailure:
 
     code: str
     error: SiriusError
+    #: Spans the failing worker-side call recorded before it raised.
+    spans: tuple = ()
 
 
 def _check_on_error(on_error: str) -> None:
@@ -140,12 +158,20 @@ class PlanExecutor:
         services: Dict[str, Service],
         plan: Optional[QueryPlan] = None,
         max_workers: Optional[int] = None,
+        trace_seed: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1")
         self.services = dict(services)
         self.plan = plan if plan is not None else full_plan()
         self.max_workers = max_workers
+        #: ``None`` disables tracing; any int seeds deterministic span IDs
+        #: (chaos replays with the same seed export identical span forests).
+        self.trace_seed = trace_seed
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry` that
+        #: ``run_all`` records e2e / per-service / wait latencies into.
+        self.metrics = metrics
         self._check_plan(self.plan)
 
     def _check_plan(self, plan: QueryPlan) -> None:
@@ -192,18 +218,44 @@ class PlanExecutor:
             wall_start=time.perf_counter(),
             ordinal=ordinal,
         )
+        self._begin_trace(state)
+        ambient = (
+            use_tracer(state.tracer) if state.tracer is not None else nullcontext()
+        )
         try:
-            for level in plan.levels():
-                runnable = [stage for stage in level if stage.guard()(state)]
-                if parallel_branches and len(runnable) > 1:
-                    self._run_level_threaded(runnable, state)
-                else:
-                    for stage in runnable:
-                        self._run_stage(stage, state)
-        except SiriusError:
+            with ambient:
+                for level in plan.levels():
+                    runnable = [stage for stage in level if stage.guard()(state)]
+                    if parallel_branches and len(runnable) > 1:
+                        self._run_level_threaded(runnable, state)
+                    else:
+                        for stage in runnable:
+                            self._run_stage(stage, state)
+        except SiriusError as exc:
             if on_error == RAISE or state.fatal_error is None:
+                if state.tracer is not None:
+                    state.tracer.end_span(
+                        state.root_span, status="error",
+                        error_code=getattr(exc, "code", "SIRIUS"),
+                    )
+                    exc.__sirius_spans__ = state.tracer.finish()
                 raise
         return self._build_response(state)
+
+    def _begin_trace(self, state: ExecutionState) -> None:
+        """Open the query's root span when tracing is enabled.
+
+        Each query gets its *own* tracer (IDs are deterministic functions of
+        ``(trace_seed, ordinal)``, so per-query tracers and one shared
+        tracer would mint identical spans) — which keeps root spans on
+        independent stacks in batched mode and keeps the whole tracer local
+        to a worker when ``run`` executes in another thread or process.
+        """
+        if self.trace_seed is None:
+            return
+        state.tracer = Tracer(seed=self.trace_seed)
+        state.root_span = state.tracer.begin_trace(state.ordinal)
+        state.trace_ctx = state.tracer.context()
 
     def _request(self, stage: PlanStage, state: ExecutionState) -> ServiceRequest:
         return _REQUEST_BUILDERS[stage.service](state)
@@ -237,6 +289,11 @@ class PlanExecutor:
         request = self._request(stage, state)
         drain_virtual_seconds()
         before = state.profiler.profile.total
+        span = None
+        if state.tracer is not None:
+            span = state.tracer.begin_span(
+                service.name, kind="service", service=service.label
+            )
         try:
             if stage.record:
                 with state.profiler.section(service.name):
@@ -244,11 +301,23 @@ class PlanExecutor:
             else:
                 payload = service.invoke(request, state.profiler)
         except SiriusError as exc:
-            state.virtual_seconds += drain_virtual_seconds()
+            virtual = drain_virtual_seconds()
+            state.virtual_seconds += virtual
+            if span is not None:
+                if virtual > 0:
+                    span.attributes["virtual_seconds"] = virtual
+                state.tracer.end_span(
+                    span, status="error",
+                    error_code=getattr(exc, "code", "SIRIUS"),
+                )
             self._record_failure(stage, state, exc)
             return
         virtual = drain_virtual_seconds()
         state.virtual_seconds += virtual
+        if span is not None:
+            if virtual > 0:
+                span.attributes["virtual_seconds"] = virtual
+            state.tracer.end_span(span)
         if stage.record:
             state.service_seconds[service.label] = (
                 state.profiler.profile.total - before + virtual
@@ -281,14 +350,44 @@ class PlanExecutor:
                     outcomes.append(exc)
         for stage, service, outcome in zip(stages, services, outcomes):
             if isinstance(outcome, SiriusError):
+                if state.tracer is not None:
+                    state.tracer.adopt(getattr(outcome, "__sirius_spans__", ()))
                 self._record_failure(stage, state, outcome)
                 continue
+            if state.tracer is not None:
+                state.tracer.adopt(outcome.spans)
+            if self.metrics is not None and outcome.stats.wait_seconds > 0:
+                self.metrics.histogram(
+                    wait_histogram_name(outcome.stats.service)
+                ).observe(outcome.stats.wait_seconds)
             state.profiler.profile.merge(outcome.profile)
             if stage.record:
                 state.service_seconds[service.label] = outcome.stats.seconds
             self._absorb(stage, state, outcome.payload)
 
     def _build_response(self, state: ExecutionState) -> SiriusResponse:
+        """Assemble the response; when traced, close and attach the trace."""
+        response = self._assemble_response(state)
+        if state.tracer is not None:
+            root = state.root_span
+            root.attributes["query_type"] = response.query_type.value
+            if response.degraded:
+                root.attributes["degraded"] = True
+            if response.failed:
+                root.attributes["failed"] = True
+            if state.virtual_seconds > 0:
+                root.attributes["virtual_seconds"] = state.virtual_seconds
+            if state.fatal_error is not None:
+                state.tracer.end_span(
+                    root, status="error",
+                    error_code=getattr(state.fatal_error, "code", "SIRIUS"),
+                )
+            else:
+                state.tracer.end_span(root)
+            response.spans = state.tracer.finish()
+        return response
+
+    def _assemble_response(self, state: ExecutionState) -> SiriusResponse:
         wall = time.perf_counter() - state.wall_start + state.virtual_seconds
         failures = dict(state.failures)
         degraded = bool(failures)
@@ -371,23 +470,30 @@ class PlanExecutor:
         queries = list(queries)
         workers = workers if workers is not None else self.max_workers
         if batch_stages:
-            return self._run_all_batched(queries, backend, workers, plan, on_error)
-        resolved = get_backend(backend)
-
-        def run_one(item) -> SiriusResponse:
-            index, query = item
-            return self.run(
-                query,
-                plan=plan,
-                parallel_branches=parallel_branches,
-                ordinal=index,
-                on_error=on_error,
+            responses = self._run_all_batched(
+                queries, backend, workers, plan, on_error
             )
+        else:
+            resolved = get_backend(backend)
 
-        items = list(enumerate(queries))
-        if resolved.name == "serial":
-            return [run_one(item) for item in items]
-        return resolved.map(run_one, items, workers=workers)
+            def run_one(item) -> SiriusResponse:
+                index, query = item
+                return self.run(
+                    query,
+                    plan=plan,
+                    parallel_branches=parallel_branches,
+                    ordinal=index,
+                    on_error=on_error,
+                )
+
+            items = list(enumerate(queries))
+            if resolved.name == "serial":
+                responses = [run_one(item) for item in items]
+            else:
+                responses = resolved.map(run_one, items, workers=workers)
+        if self.metrics is not None:
+            record_responses(self.metrics, responses)
+        return responses
 
     def _run_all_batched(
         self,
@@ -407,6 +513,12 @@ class PlanExecutor:
             )
             for index, query in enumerate(queries)
         ]
+        for state in states:
+            # Per-state tracers hold each query's open root span in the main
+            # process; stage spans are recorded worker-side (the request
+            # carries the root's TraceContext) and adopted from the
+            # responses below.
+            self._begin_trace(state)
         for level in plan.levels():
             for stage in level:
                 guard = stage.guard()
@@ -426,12 +538,16 @@ class PlanExecutor:
                 )
                 for state, outcome in zip(pending, outcomes):
                     if isinstance(outcome, _StageFailure):
+                        if state.tracer is not None:
+                            state.tracer.adopt(outcome.spans)
                         state.failures[service.label] = outcome.code
                         if stage.service in FATAL_SERVICES:
                             if on_error == RAISE:
                                 raise outcome.error
                             state.fatal_error = outcome.error
                         continue
+                    if state.tracer is not None:
+                        state.tracer.adopt(outcome.spans)
                     state.profiler.profile.merge(outcome.profile)
                     if stage.record:
                         state.service_seconds[service.label] = outcome.stats.seconds
@@ -458,7 +574,10 @@ class PlanExecutor:
             try:
                 return service(request)
             except SiriusError as exc:
-                return _StageFailure(code=exc.code, error=exc)
+                return _StageFailure(
+                    code=exc.code, error=exc,
+                    spans=tuple(getattr(exc, "__sirius_spans__", ())),
+                )
 
         resolved = get_backend(backend)
         outcomes = resolved.map(call_one, requests, workers=workers)
@@ -467,15 +586,18 @@ class PlanExecutor:
             if isinstance(outcome, _StageFailure):
                 stamped.append(outcome)
                 continue
+            if self.metrics is not None and outcome.stats.wait_seconds > 0:
+                self.metrics.histogram(
+                    wait_histogram_name(outcome.stats.service)
+                ).observe(outcome.stats.wait_seconds)
             stamped.append(
                 ServiceResponse(
+                    # replace() keeps measured fields (wait_seconds) intact
+                    # while restamping the dispatch's batch size.
                     payload=outcome.payload,
-                    stats=ServiceStats(
-                        service=outcome.stats.service,
-                        seconds=outcome.stats.seconds,
-                        batch_size=len(requests),
-                    ),
+                    stats=replace(outcome.stats, batch_size=len(requests)),
                     profile=outcome.profile,
+                    spans=outcome.spans,
                 )
             )
         return stamped
@@ -488,6 +610,8 @@ def build_executor(
     image_database,
     plan: Optional[QueryPlan] = None,
     max_workers: Optional[int] = None,
+    trace_seed: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> PlanExecutor:
     """Wrap pipeline components in services and assemble an executor."""
     from repro.serving.service import (
@@ -503,4 +627,7 @@ def build_executor(
         QA: QaService(qa_engine),
         IMM: ImmService(image_database),
     }
-    return PlanExecutor(services, plan=plan, max_workers=max_workers)
+    return PlanExecutor(
+        services, plan=plan, max_workers=max_workers,
+        trace_seed=trace_seed, metrics=metrics,
+    )

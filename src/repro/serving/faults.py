@@ -32,10 +32,11 @@ from __future__ import annotations
 
 import random
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError, InjectedFaultError
+from repro.obs.context import annotate
 from repro.profiling import Profiler
 from repro.serving.service import Service, ServiceRequest, ServiceStats
 
@@ -67,6 +68,11 @@ def charge_virtual_seconds(seconds: float) -> None:
     if seconds < 0:
         raise ConfigurationError("virtual latency must be >= 0")
     _LEDGER.charged += seconds
+    # Virtual seconds are seed-deterministic, so they may live in span
+    # attributes (unlike measured wall times); accumulate on the innermost
+    # open span so attempt and stage spans both see their share.
+    if seconds > 0:
+        annotate("virtual_seconds", seconds, add=True)
 
 
 def drain_virtual_seconds() -> float:
@@ -90,10 +96,10 @@ class VirtualLatencyAware(Service):
         response = super().__call__(request, profiler)
         virtual = drain_virtual_seconds()
         if virtual > 0:
-            response.stats = ServiceStats(
-                service=response.stats.service,
-                seconds=response.stats.seconds + virtual,
-                batch_size=response.stats.batch_size,
+            # replace() so measured fields beyond seconds (wait_seconds,
+            # batch_size) survive the restamp instead of being reset.
+            response.stats = replace(
+                response.stats, seconds=response.stats.seconds + virtual
             )
         return response
 
@@ -227,6 +233,9 @@ class FaultInjector(VirtualLatencyAware):
         rule = self.plan.fault_for(self.name, request.ordinal, request.attempt)
         if rule is None:
             return self.inner.invoke(request, profiler)
+        annotate("fault.kind", rule.kind)
+        if rule.code:
+            annotate("fault.code", rule.code)
         if rule.kind == LATENCY:
             charge_virtual_seconds(rule.seconds)
             return self.inner.invoke(request, profiler)

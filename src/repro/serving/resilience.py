@@ -44,6 +44,8 @@ from repro.errors import (
     ServiceError,
     SiriusError,
 )
+from repro.obs.context import current_tracer
+from repro.obs.trace import ATTEMPT
 from repro.profiling import Profiler
 from repro.serving.faults import (
     FaultPlan,
@@ -270,18 +272,43 @@ class ResilientService(VirtualLatencyAware):
     def invoke(self, request: ServiceRequest, profiler: Profiler):
         policy = self.policy
         rng = backoff_rng(policy.seed, self.name, request.ordinal)
+        tracer = current_tracer()
+        if tracer is not None and tracer.current_span() is None:
+            tracer = None  # invoked outside any trace; nothing to nest under
         start = time.perf_counter()
         total_virtual = 0.0
         attempt = 0
         try:
             while True:
                 if self._breaker is not None and not self._breaker.allow():
-                    raise CircuitOpenError(
+                    rejection = CircuitOpenError(
                         f"service {self.name!r} circuit is open "
                         f"(ordinal={request.ordinal})",
                         service=self.name,
                     )
+                    if tracer is not None:
+                        # A zero-width attempt span records the fast-fail.
+                        span = tracer.begin_span(
+                            "attempt", kind=ATTEMPT,
+                            attributes={"attempt": attempt, "breaker": OPEN,
+                                        "rejected": True},
+                        )
+                        tracer.end_span(
+                            span, status="error",
+                            error_code=getattr(rejection, "code", "SIRIUS"),
+                        )
+                    raise rejection
+                breaker_state = (self._breaker.state
+                                 if self._breaker is not None else "")
                 drain_virtual_seconds()
+                span = None
+                if tracer is not None:
+                    attributes = {"attempt": attempt}
+                    if breaker_state:
+                        attributes["breaker"] = breaker_state
+                    span = tracer.begin_span(
+                        "attempt", kind=ATTEMPT, attributes=attributes
+                    )
                 failure: Optional[SiriusError] = None
                 payload = None
                 try:
@@ -309,11 +336,21 @@ class ResilientService(VirtualLatencyAware):
                         f"({elapsed:.3f}s elapsed)",
                         service=self.name,
                     )
+                if span is not None:
+                    if failure is None:
+                        tracer.end_span(span)
+                    else:
+                        tracer.end_span(
+                            span, status="error",
+                            error_code=getattr(failure, "code", "SIRIUS"),
+                        )
                 if failure is None:
                     if self._breaker is not None:
                         self._breaker.record_success()
                     self._record(request.ordinal, attempt, elapsed, ok=True)
                     charge_virtual_seconds(total_virtual)
+                    if tracer is not None:
+                        tracer.annotate("attempts", attempt)
                     return payload
                 if self._breaker is not None:
                     self._breaker.record_failure()
@@ -340,6 +377,8 @@ class ResilientService(VirtualLatencyAware):
             # (``__call__``'s stats or the executor's accounting); the
             # success path does the same before returning.
             charge_virtual_seconds(total_virtual)
+            if tracer is not None:
+                tracer.annotate("attempts", attempt)
             raise
 
     def _corrupted(self, payload) -> bool:
@@ -439,4 +478,6 @@ def resilient_executor(executor, policies: Optional[PolicySpec] = None,
         wrap_services(executor.services, policies, fault_plan),
         plan=executor.plan,
         max_workers=executor.max_workers,
+        trace_seed=executor.trace_seed,
+        metrics=executor.metrics,
     )

@@ -17,9 +17,12 @@ from __future__ import annotations
 
 import abc
 import time
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any, List, Optional, Sequence, Tuple
 
+from repro.errors import SiriusError
+from repro.obs.context import use_tracer
+from repro.obs.trace import Span, TraceContext, Tracer
 from repro.profiling import Profile, Profiler
 from repro.serving.backends import ExecutionBackend, get_backend
 
@@ -43,21 +46,32 @@ class ServiceRequest:
     ``attempt`` the retry attempt number — together the deterministic key
     the resilience layer uses to seed jitter and replay injected faults
     identically on every backend (see :mod:`repro.serving.faults`).
+
+    ``trace`` carries the parent span's picklable coordinates when the
+    call is part of a traced query: the service resumes the trace in its
+    own thread/process and ships the recorded spans back on the response
+    (see :mod:`repro.obs.trace`).  ``admitted_at`` is the dispatcher's
+    ``perf_counter`` reading when the request was handed to a backend, so
+    the service can measure queueing delay (``ServiceStats.wait_seconds``)
+    separately from service time.
     """
 
     payload: Any
     query: Any = None
     ordinal: int = 0
     attempt: int = 0
+    trace: Optional[TraceContext] = None
+    admitted_at: Optional[float] = None
 
 
 @dataclass(frozen=True)
 class ServiceStats:
     """Per-call measurements, recorded uniformly for every stage."""
 
-    service: str          #: service label, e.g. ``"ASR"``
-    seconds: float        #: wall seconds spent inside the service call
-    batch_size: int = 1   #: requests served by the dispatch this came from
+    service: str            #: service label, e.g. ``"ASR"``
+    seconds: float          #: wall seconds spent inside the service call
+    batch_size: int = 1     #: requests served by the dispatch this came from
+    wait_seconds: float = 0.0  #: admission → invoke-start queueing delay
 
 
 @dataclass
@@ -67,6 +81,7 @@ class ServiceResponse:
     payload: Any
     stats: ServiceStats
     profile: Profile = field(default_factory=Profile)
+    spans: Tuple[Span, ...] = ()  #: spans recorded by a traced worker-side call
 
 
 class Service(abc.ABC):
@@ -87,14 +102,43 @@ class Service(abc.ABC):
     def __call__(
         self, request: ServiceRequest, profiler: Optional[Profiler] = None
     ) -> ServiceResponse:
-        """One instrumented call: payload + :class:`ServiceStats` + profile."""
+        """One instrumented call: payload + :class:`ServiceStats` + profile.
+
+        When the request carries a :class:`~repro.obs.trace.TraceContext`
+        the call resumes the query's trace in this thread/process, wraps
+        itself in a service span, and ships the recorded spans home on the
+        response (or, on failure, on the exception's ``__sirius_spans__``
+        so the dispatcher can still adopt them).
+        """
+        if request.trace is None:
+            return self._timed_call(request, profiler)
+        tracer = Tracer.resume(request.trace)
+        with use_tracer(tracer):
+            try:
+                with tracer.span(self.name, kind="service", service=self.label) as span:
+                    response = self._timed_call(request, profiler)
+                    span.wait = response.stats.wait_seconds
+            except SiriusError as exc:
+                exc.__sirius_spans__ = tracer.finish()
+                raise
+        response.spans = tracer.finish()
+        return response
+
+    def _timed_call(
+        self, request: ServiceRequest, profiler: Optional[Profiler] = None
+    ) -> ServiceResponse:
         profiler = profiler if profiler is not None else Profiler()
         start = time.perf_counter()
+        wait = 0.0
+        if request.admitted_at is not None:
+            wait = max(start - request.admitted_at, 0.0)
         payload = self.invoke(request, profiler)
         seconds = time.perf_counter() - start
         return ServiceResponse(
             payload=payload,
-            stats=ServiceStats(service=self.label, seconds=seconds),
+            stats=ServiceStats(
+                service=self.label, seconds=seconds, wait_seconds=wait
+            ),
             profile=profiler.profile,
         )
 
@@ -115,15 +159,14 @@ class Service(abc.ABC):
             backend if isinstance(backend, ExecutionBackend) else get_backend(backend)
         )
         responses = resolved.map(self.__call__, list(requests), workers=workers)
+        # replace() (not a rebuild) so measured fields the stats may grow —
+        # wait_seconds today — survive the batch-size restamp.
         return [
             ServiceResponse(
                 payload=response.payload,
-                stats=ServiceStats(
-                    service=response.stats.service,
-                    seconds=response.stats.seconds,
-                    batch_size=len(requests),
-                ),
+                stats=replace(response.stats, batch_size=len(requests)),
                 profile=response.profile,
+                spans=response.spans,
             )
             for response in responses
         ]

@@ -93,6 +93,31 @@ class TestProfiler:
             pass
         assert profiler.profile.seconds == {}
 
+    def test_cross_thread_section_rejected(self):
+        # Regression: sharing one Profiler across threads used to silently
+        # interleave the section stack and corrupt exclusive timings.
+        import threading
+
+        profiler = Profiler()
+        caught = []
+
+        def intrude():
+            try:
+                with profiler.section("other-thread"):
+                    pass
+            except ProfilerError as exc:
+                caught.append(exc)
+
+        with profiler.section("main-thread"):
+            worker = threading.Thread(target=intrude)
+            worker.start()
+            worker.join()
+        assert len(caught) == 1
+        assert caught[0].code == "PROFILER"
+        assert "thread" in str(caught[0])
+        # The owning thread's timing is unaffected.
+        assert set(profiler.profile.seconds) == {"main-thread"}
+
 
 class TestProfile:
     def test_breakdown_fractions(self):
