@@ -15,6 +15,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.errors import ModelError
+from repro.obs.counters import record_work
 
 
 def _relu(x: np.ndarray) -> np.ndarray:
@@ -82,6 +83,17 @@ class DeepNeuralNetwork:
         """Logits for pre-stacked input (the benchmark-visible hot loop)."""
         activation = stacked
         last = len(self.weights) - 1
+        # Counter model: a (B, n) @ (n, k) matmul is 2*B*n*k flops plus
+        # B*k for the bias add (and ReLU comparison on hidden layers);
+        # bytes touch both operands and the output once, float64.
+        batch = stacked.shape[0] if stacked.ndim == 2 else 1
+        flops = 0
+        moved = 0
+        for weight in self.weights:
+            fan_in, fan_out = weight.shape
+            flops += 2 * batch * fan_in * fan_out + 2 * batch * fan_out
+            moved += 8 * (batch * fan_in + fan_in * fan_out + batch * fan_out)
+        record_work(flops=flops, mem_bytes=moved, items=batch)
         for index, (weight, bias) in enumerate(zip(self.weights, self.biases)):
             activation = activation @ weight + bias
             if index != last:

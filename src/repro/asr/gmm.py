@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ModelError
+from repro.obs.counters import record_work
 
 _LOG_2PI = float(np.log(2.0 * np.pi))
 
@@ -76,6 +77,22 @@ class DiagonalGMM:
         """(T,) log p(x_t) via log-sum-exp over components."""
         component = self.component_log_likelihood(features)
         peak = component.max(axis=1, keepdims=True)
+        # Counter model: 4 flops per (frame, component, dimension) cell
+        # (subtract, square, precision-multiply, accumulate) plus ~6 per
+        # (T, K) cell for the factor add and the log-sum-exp; bytes touch
+        # the feature block, both parameter banks, and the (T, K) scores.
+        frames = np.atleast_2d(features).shape[0]
+        record_work(
+            flops=4 * frames * self.n_components * self.dimension
+            + 6 * frames * self.n_components,
+            mem_bytes=8
+            * (
+                frames * self.dimension
+                + 2 * self.n_components * self.dimension
+                + frames * self.n_components
+            ),
+            items=frames,
+        )
         return (peak + np.log(np.exp(component - peak).sum(axis=1, keepdims=True))).ravel()
 
     def score(self, feature: np.ndarray) -> float:

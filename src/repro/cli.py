@@ -9,6 +9,10 @@ Subcommands::
     repro serve-bench --trace spans.jsonl --chrome-trace trace.json --metrics
     repro serve-bench --chaos 42 [--queries 16] [--trace spans.jsonl]
     repro trace-report spans.jsonl [--limit 3] [--chrome trace.json] [--mm1 0.7]
+    repro trace-report spans.jsonl --critical-path [--tail-quantile 0.99] --roofline
+    repro bench [run] [--quick] [--json] [--tag pr5] [--filter suite.]
+    repro bench --check BASELINE.json   (or: repro bench check BASELINE.json)
+    repro bench list
     repro design
     repro wer [--noise 0.0 0.05 0.1]
     repro lint [paths ...] [--format json] [--fail-on warning]
@@ -68,19 +72,35 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
+    import contextlib
+
     from repro.analysis import format_table
+    from repro.obs.context import use_tracer
+    from repro.obs.trace import Tracer
     from repro.suite import all_kernels
 
+    tracer = Tracer(seed=0) if args.trace else None
     rows = []
-    for kernel in all_kernels():
-        inputs = kernel.prepare(args.scale)
-        base = kernel.execute(inputs=inputs)
-        port = kernel.execute(inputs=inputs, workers=args.workers,
-                              use_processes=args.processes)
-        rows.append(
-            [kernel.service, kernel.name, base.items,
-             f"{base.seconds * 1000:.1f}", f"{port.seconds * 1000:.1f}"]
-        )
+    with use_tracer(tracer) if tracer else contextlib.nullcontext():
+        for ordinal, kernel in enumerate(all_kernels()):
+            inputs = kernel.prepare(args.scale)
+            run_span = (
+                tracer.trace(ordinal, name=f"suite:{kernel.name}")
+                if tracer else contextlib.nullcontext()
+            )
+            with run_span:
+                base = kernel.execute(inputs=inputs)
+                port = kernel.execute(inputs=inputs, workers=args.workers,
+                                      use_processes=args.processes)
+            rows.append(
+                [kernel.service, kernel.name, base.items,
+                 f"{base.seconds * 1000:.1f}", f"{port.seconds * 1000:.1f}"]
+            )
+    if tracer is not None:
+        from repro.obs.export import write_jsonl
+
+        write_jsonl(tracer.spans, args.trace)
+        print(f"wrote {len(tracer.spans)} spans to {args.trace}")
     print(format_table(
         f"Sirius Suite (scale={args.scale})",
         ["Service", "Kernel", "Items", "Baseline (ms)",
@@ -260,14 +280,84 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.errors import ObsError
     from repro.obs import read_jsonl, render_report, write_chrome_trace
 
     spans = read_jsonl(args.path)
+    if not spans:
+        raise ObsError(
+            f"span export {args.path!r} contains no spans; was the trace "
+            "written with tracing enabled (serve-bench --trace)?"
+        )
     if args.chrome:
         n_events = write_chrome_trace(spans, args.chrome)
         print(f"wrote {n_events} trace events to {args.chrome}", file=sys.stderr)
-    print(render_report(spans, limit=args.limit, mm1_load=args.mm1))
+    sections = [render_report(spans, limit=args.limit, mm1_load=args.mm1)]
+    if args.critical_path:
+        from repro.obs import format_critical_path_report
+
+        sections.append(format_critical_path_report(
+            spans, quantile=args.tail_quantile
+        ))
+    if args.roofline:
+        from repro.obs import format_roofline
+
+        sections.append(format_roofline(spans))
+    print("\n\n".join(sections))
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: run the registry and/or gate against a baseline."""
+    from repro.obs import bench
+
+    action = args.action
+    baseline_path = args.baseline or args.check
+    if action == "run" and args.check:
+        action = "check"
+    if action == "check" and not baseline_path:
+        print("error[CONFIG]: bench check needs a baseline "
+              "(repro bench --check BASELINE.json)", file=sys.stderr)
+        return 2
+
+    if action == "list":
+        for benchmark in bench.all_benchmarks():
+            gated = ", ".join(
+                metric for metric, spec in sorted(benchmark.metric_specs.items())
+                if spec.gated
+            )
+            print(f"{benchmark.name:<16} {benchmark.description}")
+            print(f"{'':<16} gated: {gated}")
+        return 0
+
+    def progress(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    def run_current():
+        if args.current:
+            return bench.load_report(args.current)
+        return bench.run_benchmarks(
+            filters=args.filter, quick=args.quick, repeats=args.repeats,
+            tag=args.tag, progress=progress,
+        )
+
+    if action == "run":
+        report = run_current()
+        out_path = args.out or f"BENCH_{args.tag}.json"
+        if args.json:
+            with open(out_path, "w") as handle:
+                handle.write(bench.to_json(report))
+            print(f"wrote {len(report['benchmarks'])} benchmarks to {out_path}",
+                  file=sys.stderr)
+        print(bench.format_report(report))
+        return 0
+
+    # action == "check"
+    baseline = bench.load_report(baseline_path)
+    current = run_current()
+    findings = bench.check_report(current, baseline)
+    print(bench.format_findings(findings))
+    return 1 if findings else 0
 
 
 def _cmd_design(args: argparse.Namespace) -> int:  # noqa: ARG001
@@ -341,6 +431,11 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--scale", type=float, default=0.25)
     suite.add_argument("--workers", type=int, default=4)
     suite.add_argument("--processes", action="store_true")
+    suite.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="export kernel spans (with work counters) as JSONL; feed to "
+             "``repro trace-report --roofline``",
+    )
     suite.set_defaults(func=_cmd_suite)
 
     serve = sub.add_parser(
@@ -392,7 +487,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="append the measured-histogram vs analytic M/M/1 comparison "
              "at this utilization (0 < LOAD < 1)",
     )
+    trace_report.add_argument(
+        "--critical-path", action="store_true",
+        help="append per-stage critical-path attribution (self/wait/virtual "
+             "time, exactly decomposing trace totals) and tail attribution",
+    )
+    trace_report.add_argument(
+        "--tail-quantile", type=float, default=0.99, metavar="Q",
+        help="tail quantile for --critical-path attribution (default 0.99)",
+    )
+    trace_report.add_argument(
+        "--roofline", action="store_true",
+        help="append roofline placement of traced kernels (measured "
+             "operational intensity from span work counters)",
+    )
     trace_report.set_defaults(func=_cmd_trace_report)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned-seed benchmark registry / check the regression gate",
+        description=(
+            "repro bench [run|check|list]: run the registered benchmarks "
+            "(schema-versioned BENCH_<tag>.json with counter totals and "
+            "latency percentiles), or gate a run against a committed "
+            "baseline.  Gated metrics are deterministic (counters, "
+            "checksums, virtual latency) — wall clocks never decide the "
+            "gate.  Compare like with like: a --quick baseline only gates "
+            "--quick runs."
+        ),
+    )
+    bench.add_argument(
+        "action", nargs="?", choices=("run", "check", "list"), default="run",
+        help="run benchmarks (default), check against a baseline, or list "
+             "the registry",
+    )
+    bench.add_argument(
+        "baseline", nargs="?", default=None,
+        help="baseline JSON for the check action",
+    )
+    bench.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="shorthand: gate a fresh run (or --current) against BASELINE",
+    )
+    bench.add_argument(
+        "--current", default=None, metavar="PATH",
+        help="use an existing report JSON instead of re-running (check mode)",
+    )
+    bench.add_argument("--json", action="store_true",
+                       help="also write the report JSON (see --out)")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="report path for --json (default BENCH_<tag>.json)")
+    bench.add_argument("--tag", default="pr5",
+                       help="report tag; names the default output file")
+    bench.add_argument("--quick", action="store_true",
+                       help="small inputs / fewer queries (CI smoke)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="repeats per benchmark (min-of-k gate rule)")
+    bench.add_argument("--filter", action="append", default=[],
+                       metavar="SUBSTR",
+                       help="only benchmarks whose name contains SUBSTR "
+                            "(repeatable)")
+    bench.set_defaults(func=_cmd_bench)
 
     design = sub.add_parser("design", help="print the datacenter design study")
     design.set_defaults(func=_cmd_design)

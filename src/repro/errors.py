@@ -141,6 +141,18 @@ class TraceError(SiriusError):
     code = "TRACE"
 
 
+class ObsError(SiriusError):
+    """A span forest handed to the analysis layer was malformed.
+
+    Raised by :mod:`repro.obs.critical_path` (and the CLI surfaces over it)
+    for forests that violate the tracer's structural contract: an export
+    with no spans at all, a span whose ``parent_id`` references a span
+    missing from its trace, or a trace with no root span.
+    """
+
+    code = "OBS"
+
+
 class StatcheckError(SiriusError):
     """The statcheck analyzer was misconfigured or could not run.
 

@@ -17,6 +17,7 @@ import numpy as np
 from repro.imm.hessian import Keypoint
 from repro.imm.image import Image
 from repro.imm.integral import box_sum, integral_image
+from repro.obs.counters import record_work
 
 DESCRIPTOR_SIZE = 64
 
@@ -139,6 +140,17 @@ def describe_keypoints(
     ii = ii if ii is not None else integral_image(image.pixels)
     if not keypoints:
         return np.zeros((0, DESCRIPTOR_SIZE))
+    # Counter model: per keypoint, orientation assignment samples 113 circle
+    # points and the descriptor 4x4 x 5x5 = 400 grid points; each sample is
+    # two Haar wavelets (8 integral-image corner reads, ~16 adds) plus ~14
+    # ops of weighting/rotation — call it 30 flops and 128 operand bytes per
+    # sample, plus the 64-float descriptor write.
+    samples = (0 if upright else 113) + 400
+    record_work(
+        flops=len(keypoints) * 30 * samples,
+        mem_bytes=len(keypoints) * (128 * samples + 8 * DESCRIPTOR_SIZE),
+        items=len(keypoints),
+    )
     rows = [
         describe_keypoint(ii, keypoint, orientation=0.0 if upright else None)
         for keypoint in keypoints

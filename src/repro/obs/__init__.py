@@ -17,14 +17,39 @@ produces those measurements from a live run:
 - :mod:`repro.obs.export` — JSONL span export (optionally
   timing-stripped/deterministic) and Chrome trace-event export;
 - :mod:`repro.obs.report` — the ``repro trace-report`` renderer:
-  per-query waterfalls, per-service p50/p95/p99 summaries, and the
-  measured-histogram vs M/M/1 comparison.
+  per-query waterfalls, per-service p50/p95/p99 summaries, the
+  measured-histogram vs M/M/1 comparison, and the roofline placement of
+  traced kernels;
+- :mod:`repro.obs.counters` — deterministic work counters (flops, bytes,
+  items, invocations) that hot paths attach to the innermost span;
+- :mod:`repro.obs.critical_path` — longest-path extraction and exact
+  self/wait/virtual time attribution over span forests
+  (``repro trace-report --critical-path``);
+- :mod:`repro.obs.bench` — the benchmark registry, ``BENCH_<tag>.json``
+  reports, and the counter-based regression gate (``repro bench``).
 
-Wired into ``repro serve-bench --trace/--metrics`` and the
-``repro trace-report`` subcommand; see ``docs/OBSERVABILITY.md``.
+Wired into ``repro serve-bench --trace/--metrics``, ``repro trace-report``
+and ``repro bench``; see ``docs/OBSERVABILITY.md`` and
+``docs/BENCHMARKING.md``.
 """
 
 from repro.obs.context import annotate, current_tracer, use_tracer
+from repro.obs.counters import (
+    WorkCounters,
+    aggregate_counters,
+    counters_by_key,
+    counters_of,
+    format_count,
+    kernel_counters,
+    record_work,
+)
+from repro.obs.critical_path import (
+    Attribution,
+    TraceAnalysis,
+    analyze_forest,
+    format_critical_path_report,
+    tail_attribution,
+)
 from repro.obs.export import (
     read_jsonl,
     span_from_dict,
@@ -53,6 +78,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.report import (
     format_mm1_comparison,
+    format_roofline,
     format_service_summary,
     format_waterfall,
     metrics_from_spans,
@@ -60,6 +86,7 @@ from repro.obs.report import (
 )
 from repro.obs.trace import (
     ATTEMPT,
+    KERNEL,
     QUERY,
     SECTION,
     SERVICE,
@@ -73,31 +100,44 @@ from repro.obs.trace import (
 
 __all__ = [
     "ATTEMPT",
+    "Attribution",
     "Counter",
     "DEFAULT_BUCKETS",
     "E2E_HISTOGRAM",
     "Histogram",
     "HistogramSnapshot",
+    "KERNEL",
     "MetricsRegistry",
     "MetricsSnapshot",
     "QUERY",
     "SECTION",
     "SERVICE",
     "Span",
+    "TraceAnalysis",
     "TraceContext",
     "Tracer",
+    "WorkCounters",
+    "aggregate_counters",
+    "analyze_forest",
     "annotate",
     "collect_spans",
+    "counters_by_key",
+    "counters_of",
     "current_tracer",
+    "format_count",
+    "format_critical_path_report",
     "format_mm1_comparison",
+    "format_roofline",
     "format_service_summary",
     "format_waterfall",
+    "kernel_counters",
     "log_buckets",
     "merge_histograms",
     "merge_snapshots",
     "metrics_from_spans",
     "percentile",
     "read_jsonl",
+    "record_work",
     "record_response",
     "record_responses",
     "render_report",
@@ -105,6 +145,7 @@ __all__ = [
     "span_from_dict",
     "span_id_for",
     "span_to_dict",
+    "tail_attribution",
     "to_chrome_trace",
     "to_jsonl",
     "trace_id_for",

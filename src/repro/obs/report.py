@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.datacenter.simulation import mm1_percentile, simulate_from_histogram
 from repro.obs.metrics import (
     E2E_HISTOGRAM,
     MetricsRegistry,
@@ -169,7 +170,6 @@ def format_mm1_comparison(
     parameterized by the measured mean — the Figure 8/17 bridge.
     """
     from repro.analysis import format_table
-    from repro.datacenter.simulation import mm1_percentile, simulate_from_histogram
 
     rows: List[List[str]] = []
     for name in registry.histogram_names():
@@ -193,6 +193,56 @@ def format_mm1_comparison(
         f"{title} (load={load:.2f})",
         ["Histogram", "sim p95 (ms)", "M/M/1 p95 (ms)",
          "sim p99 (ms)", "M/M/1 p99 (ms)"],
+        rows,
+    )
+
+
+def format_roofline(spans: Sequence[Span]) -> str:
+    """Place each traced Sirius Suite kernel on the roofline model.
+
+    Uses the work counters on ``kernel`` spans (``repro bench`` /
+    :meth:`repro.suite.base.Kernel.execute` under a tracer): measured
+    operational intensity = counter flops / counter bytes, placed on
+    :mod:`repro.platforms.roofline` next to the analytic profile, with the
+    attainable GFLOP/s and binding roof per platform.
+    """
+    from repro.analysis import format_table
+    from repro.obs.counters import format_count, kernel_counters
+    from repro.platforms.roofline import (
+        KERNEL_PROFILES,
+        attainable_for_intensity,
+        bound_regime,
+    )
+    from repro.platforms.spec import CMP, FPGA, GPU
+
+    grouped = kernel_counters(spans)
+    rows: List[List[str]] = []
+    for name in sorted(grouped):
+        counters = grouped[name]
+        if not counters.flops or not counters.bytes:
+            continue
+        intensity = counters.intensity
+        profile = KERNEL_PROFILES.get(name)
+        friendliness = profile.simd_friendliness if profile else 1.0
+        model = f"{profile.operational_intensity:.2f}" if profile else "-"
+        rows.append([
+            name,
+            format_count(counters.flops),
+            format_count(counters.bytes),
+            f"{intensity:.2f}",
+            model,
+            f"{attainable_for_intensity(intensity, CMP, friendliness):.1f}",
+            f"{attainable_for_intensity(intensity, GPU, friendliness):.1f}",
+            f"{attainable_for_intensity(intensity, FPGA, friendliness):.1f}",
+            bound_regime(intensity, GPU, friendliness),
+        ])
+    if not rows:
+        return ("Roofline placement\n(no kernel spans with flops/bytes "
+                "counters in this export)")
+    return format_table(
+        "Roofline placement (measured intensity from span counters)",
+        ["Kernel", "Flops", "Bytes", "F/B", "Model F/B",
+         "CMP GF/s", "GPU GF/s", "FPGA GF/s", "GPU roof"],
         rows,
     )
 

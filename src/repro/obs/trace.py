@@ -44,6 +44,7 @@ QUERY = "query"      #: root span: one whole query through its plan
 SERVICE = "service"  #: one service stage (ASR / classify / QA / IMM)
 ATTEMPT = "attempt"  #: one resilience retry attempt (or breaker rejection)
 SECTION = "section"  #: one profiler section (leaf component timing)
+KERNEL = "kernel"    #: one Sirius Suite kernel execution (``repro bench``)
 
 _ID_BYTES = 8  # 16 hex chars — OpenTelemetry span-id width
 

@@ -71,23 +71,56 @@ KERNEL_PROFILES: Dict[str, KernelProfile] = {
 }
 
 
+def compute_roof_gflops(platform: str, friendliness: float = 1.0) -> float:
+    """The flat (compute) roof for ``platform`` at a given friendliness."""
+    platform_spec = spec(platform)
+    if platform == CMP:
+        # Whole-chip pthread port: four scalar cores.
+        return BASELINE_CORE_GFLOPS * platform_spec.n_cores
+    if platform == FPGA:
+        return platform_spec.peak_tflops * 1000.0  # pipelines absorb branches
+    roof = platform_spec.peak_tflops * 1000.0 * friendliness
+    if platform == PHI:
+        roof *= PHI_COMPILER_DISCOUNT
+    return roof
+
+
+def attainable_for_intensity(
+    intensity: float, platform: str, friendliness: float = 1.0
+) -> float:
+    """Roofline-attainable GFLOP/s at an *arbitrary* operational intensity.
+
+    This is the placement primitive ``repro trace-report --roofline`` uses
+    for measured intensities (counter flops / counter bytes); the analytic
+    table entries go through it too, so model and measurement sit on the
+    same roof.
+    """
+    if intensity <= 0:
+        raise ConfigurationError("intensity must be positive")
+    return min(
+        compute_roof_gflops(platform, friendliness),
+        EFFECTIVE_BANDWIDTH[platform] * intensity,
+    )
+
+
+def bound_regime(
+    intensity: float, platform: str, friendliness: float = 1.0
+) -> str:
+    """Which roof binds at this intensity: ``"memory"`` or ``"compute"``."""
+    bandwidth_bound = EFFECTIVE_BANDWIDTH[platform] * intensity
+    return (
+        "memory"
+        if bandwidth_bound < compute_roof_gflops(platform, friendliness)
+        else "compute"
+    )
+
+
 def attainable_gflops(kernel: str, platform: str) -> float:
     """Roofline-attainable GFLOP/s for ``kernel`` on ``platform``."""
     profile = KERNEL_PROFILES[kernel]
-    platform_spec = spec(platform)
-    bandwidth_bound = EFFECTIVE_BANDWIDTH[platform] * profile.operational_intensity
-    if platform == CMP:
-        # Whole-chip pthread port: four scalar cores.
-        compute_bound = BASELINE_CORE_GFLOPS * platform_spec.n_cores
-    elif platform == FPGA:
-        compute_bound = platform_spec.peak_tflops * 1000.0  # pipelines absorb branches
-    else:
-        compute_bound = (
-            platform_spec.peak_tflops * 1000.0 * profile.simd_friendliness
-        )
-        if platform == PHI:
-            compute_bound *= PHI_COMPILER_DISCOUNT
-    return min(compute_bound, bandwidth_bound)
+    return attainable_for_intensity(
+        profile.operational_intensity, platform, profile.simd_friendliness
+    )
 
 
 def roofline_speedup_bound(kernel: str, platform: str) -> float:

@@ -17,6 +17,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ModelError
+from repro.obs.counters import record_work
 from repro.qa.crf.features import FeatureMap, extract_ids
 from repro.qa.crf.tagset import N_TAGS, TAGS
 
@@ -81,6 +82,17 @@ class LinearChainCRF:
         emissions = self._emission_scores(feature_ids)
         length = len(tokens)
 
+        # Counter model: Viterbi evaluates a K x K candidate matrix per
+        # transition (add + max-compare = 2 flops per cell) plus a K-wide
+        # emission add per position; bytes cover the delta/backpointer
+        # tables, the emission matrix, and one transition-matrix read per
+        # step, float64.
+        tags = self.n_tags
+        record_work(
+            flops=(length - 1) * 2 * tags * tags + length * tags,
+            mem_bytes=8 * (3 * length * tags + (length - 1) * tags * tags),
+            items=length,
+        )
         delta = np.empty((length, self.n_tags), dtype=np.float64)
         backpointer = np.zeros((length, self.n_tags), dtype=np.int64)
         delta[0] = self.start + emissions[0]

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
+from repro.obs.counters import record_work
+
 _VOWELS = "aeiou"
 
 
@@ -70,6 +72,12 @@ class PorterStemmer:
     """Stateless Porter stemmer; use :func:`stem` for the module-level helper."""
 
     def stem(self, word: str) -> str:
+        # Counter model (branchy string kernel, see repro.obs.counters):
+        # one "op" per input character — each of the five suffix-test steps
+        # scans a suffix window plus a measure() pass over the stem, which
+        # averages out to a small constant times the word length; bytes are
+        # the word read plus the rewritten stem (1-byte ASCII chars).
+        record_work(flops=len(word), mem_bytes=2 * len(word), items=1)
         if len(word) <= 2:
             return word
         word = word.lower()

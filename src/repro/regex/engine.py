@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Set
 
+from repro.obs.counters import record_work
 from repro.regex.nfa import (
     ANCHOR_END,
     ANCHOR_NONWORD,
@@ -110,6 +111,13 @@ class Pattern:
             if not advanced:
                 break
             current = self._closure(advanced, pos, text)
+        # Counter model (branchy string kernel): the NFA simulation does
+        # O(state_count) transition tests per position examined — one "op"
+        # per (position, state) pair; bytes are the 1-byte characters read.
+        # Items stay 0 here: the Table 4 granularity unit is one
+        # (pattern, sentence) *search*, recorded in :meth:`search`.
+        examined = pos - start + 1
+        record_work(flops=examined * self._nfa.size, mem_bytes=examined)
         return best
 
     # -- public API -----------------------------------------------------------
@@ -134,6 +142,8 @@ class Pattern:
 
     def search(self, text: str, pos: int = 0) -> Optional[Match]:
         """Leftmost-longest match anywhere at or after ``pos``."""
+        # One (pattern, text) search is the regex kernel's work item.
+        record_work(items=1)
         for start in range(pos, len(text) + 1):
             end = self._match_end(text, start)
             if end is not None:

@@ -20,6 +20,7 @@ from repro.statcheck.rules.hotpath import (
     ArrayGrowInLoop,
     ListToArrayInLoop,
     PythonLoopInKernel,
+    WallClockDuration,
 )
 from repro.statcheck.rules.hygiene import (
     BareExcept,
@@ -45,6 +46,7 @@ RULE_CLASSES: Tuple[Type[Rule], ...] = (
     ArrayGrowInLoop,
     ListToArrayInLoop,
     PythonLoopInKernel,
+    WallClockDuration,
     SharedStateMutationInParallel,
     LambdaToProcessPool,
     UnseededGlobalRandom,

@@ -185,3 +185,31 @@ class PythonLoopInKernel(Rule):
                     "indexing per iteration",
                 )
                 return
+
+
+class WallClockDuration(Rule):
+    """SC204: ``time.time()`` used where a duration measurement belongs."""
+
+    code = "SC204"
+    name = "wall-clock-duration"
+    severity = Severity.WARNING
+    summary = "time.time() used for timing; use time.perf_counter()"
+    rationale = (
+        "time.time() follows the wall clock: NTP slews and leap-second "
+        "smears can step it backwards or stretch it mid-measurement, so "
+        "durations derived from it are not monotone and can even go "
+        "negative.  Every latency sample behind the percentile tables and "
+        "the benchmark reports must come from time.perf_counter(), the "
+        "monotonic high-resolution clock.  If a true timestamp-of-day is "
+        "needed (log lines, report headers), derive it outside the "
+        "measured region."
+    )
+
+    def visit_Call(self, node: ast.Call, ctx: RuleContext) -> None:
+        if normalized_call(node.func) == "time.time":
+            ctx.report(
+                self,
+                node,
+                "time.time() is wall-clock (non-monotonic under NTP "
+                "adjustment); measure durations with time.perf_counter()",
+            )

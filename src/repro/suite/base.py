@@ -16,11 +16,13 @@ platform model (:mod:`repro.platforms`), not from these ports.
 from __future__ import annotations
 
 import abc
+import contextlib
 import time
 from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.context import current_tracer
 
 
 @dataclass(frozen=True)
@@ -101,13 +103,29 @@ class Kernel(abc.ABC):
             raise ConfigurationError("workers must be >= 1")
         if inputs is None:
             inputs = self.prepare(scale)
+        # With an ambient tracer and an open trace, the run is wrapped in a
+        # ``kernel`` span so the hot-path work counters (repro.obs.counters)
+        # accumulate on a per-kernel node — this is what `repro bench` and
+        # `repro trace-report --roofline` consume.
+        tracer = current_tracer()
+        span: Any = contextlib.nullcontext()
+        if tracer is not None and tracer.current_span() is not None:
+            from repro.obs.trace import KERNEL
+
+            span = tracer.span(
+                f"kernel:{self.name}",
+                kind=KERNEL,
+                service=self.service,
+                attributes={"kernel": self.name, "workers": workers},
+            )
         start = time.perf_counter()
-        if workers == 1:
-            checksum = self.run(inputs)
-        elif use_processes:
-            checksum = self.run_parallel_processes(inputs, workers)
-        else:
-            checksum = self.run_parallel(inputs, workers)
+        with span:
+            if workers == 1:
+                checksum = self.run(inputs)
+            elif use_processes:
+                checksum = self.run_parallel_processes(inputs, workers)
+            else:
+                checksum = self.run_parallel(inputs, workers)
         elapsed = time.perf_counter() - start
         return KernelRun(
             kernel=self.name,

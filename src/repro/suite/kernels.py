@@ -9,6 +9,15 @@
 | QA      | crf      | repro.qa.crf               | per sentence              |
 | IMM     | fe       | repro.imm.hessian          | per image tile            |
 | IMM     | fd       | repro.imm.descriptor       | per keypoint              |
+
+Every baseline hot path carries a :func:`repro.obs.counters.record_work`
+hook with an analytic flops/bytes model documented next to its formula
+(dense kernels count real multiply-adds over float64 operands; the branchy
+string kernels — stemmer, regex — count one op per character examined).
+Under a tracer, :meth:`repro.suite.base.Kernel.execute` wraps the run in a
+``kernel`` span, so ``repro bench`` records per-kernel counter totals and
+``repro trace-report --roofline`` can place each kernel's measured
+operational intensity on the :mod:`repro.platforms.roofline` model.
 """
 
 from __future__ import annotations

@@ -5,6 +5,8 @@ test lints it and asserts exit code 1 with every rule code present.  Keep
 one violation per rule so tests can assert the catalogue precisely.
 """
 
+import time
+
 import numpy as np
 
 from repro.suite.parallel import map_chunks, run_chunks_in_processes
@@ -50,6 +52,12 @@ class FixtureKernel(Kernel):
         for i in range(len(inputs)):
             total += inputs[i] * 2.0
         return total
+
+
+def sc204_wall_clock_duration(action):
+    start = time.time()
+    action()
+    return start
 
 
 def sc301_shared_state_mutation(items):

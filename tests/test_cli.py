@@ -73,3 +73,100 @@ class TestCommands:
         assert "Chaos serving (seed=42" in output
         assert "available (ok+degraded)" in output
         assert "replay determinism: ok" in output
+
+
+class TestBenchParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.action == "run"
+        assert args.tag == "pr5"
+        assert args.repeats == 3
+        assert args.quick is False
+        assert args.filter == []
+
+    def test_check_forms(self):
+        args = build_parser().parse_args(["bench", "--check", "BASE.json"])
+        assert args.check == "BASE.json"
+        args = build_parser().parse_args(["bench", "check", "BASE.json"])
+        assert args.action == "check" and args.baseline == "BASE.json"
+
+    def test_trace_report_analysis_flags(self):
+        args = build_parser().parse_args(
+            ["trace-report", "s.jsonl", "--critical-path", "--roofline",
+             "--tail-quantile", "0.95"]
+        )
+        assert args.critical_path and args.roofline
+        assert args.tail_quantile == 0.95
+
+
+class TestBenchCommand:
+    def test_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "suite.gmm" in output and "serve.chaos" in output
+        assert "gated:" in output
+
+    def test_run_check_roundtrip_and_regression(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "run", "--quick", "--json", "--repeats", "2",
+                     "--filter", "suite.gmm", "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "suite.gmm" in output
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.bench/v1"
+
+        # A run gates cleanly against itself …
+        assert main(["bench", "--check", str(out),
+                     "--current", str(out)]) == 0
+        assert "bench gate: ok" in capsys.readouterr().out
+
+        # … and a doctored counter regression fails the gate.
+        report["benchmarks"]["suite.gmm"]["metrics"]["flops"]["samples"] = [1, 1]
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(report))
+        assert main(["bench", "check", str(out),
+                     "--current", str(doctored)]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_check_without_baseline_is_config_error(self, capsys):
+        assert main(["bench", "check"]) == 2
+        assert "error[CONFIG]" in capsys.readouterr().err
+
+
+class TestTraceReportCommand:
+    def test_empty_export_is_coded_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace-report", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "error[OBS]" in err and "no spans" in err
+
+    def test_truncated_export_is_coded_error(self, tmp_path, capsys):
+        bad = tmp_path / "trunc.jsonl"
+        bad.write_text('{"trace_id": "abc", "span_id"')
+        assert main(["trace-report", str(bad)]) == 2
+        assert "error[TRACE]" in capsys.readouterr().err
+
+    def test_critical_path_and_roofline_sections(self, tmp_path, capsys):
+        trace = tmp_path / "spans.jsonl"
+        assert main(["serve-bench", "--chaos", "42", "--queries", "4",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", str(trace), "--critical-path",
+                     "--roofline", "--limit", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Critical-path attribution" in output
+        assert "Tail attribution" in output
+        assert "Roofline placement" in output
+
+    def test_traced_suite_feeds_roofline(self, tmp_path, capsys):
+        trace = tmp_path / "suite.jsonl"
+        assert main(["suite", "--scale", "0.02", "--workers", "2",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", str(trace), "--roofline"]) == 0
+        output = capsys.readouterr().out
+        assert "Roofline placement (measured intensity" in output
+        assert "gmm" in output and "stemmer" in output

@@ -171,6 +171,31 @@ class TestRuleUnits:
         assert "SC203" not in codes_in(clean_not_kernel)
         assert "SC203" not in codes_in(clean_vectorized)
 
+    def test_sc204_wall_clock_duration(self):
+        flagged = """
+            import time
+            def measure(action):
+                start = time.time()
+                action()
+                return time.time() - start
+        """
+        clean_perf_counter = """
+            import time
+            def measure(action):
+                start = time.perf_counter()
+                action()
+                return time.perf_counter() - start
+        """
+        clean_other_time = """
+            import time
+            def pause():
+                time.sleep(0.01)
+                return time.monotonic()
+        """
+        assert "SC204" in codes_in(flagged)
+        assert "SC204" not in codes_in(clean_perf_counter)
+        assert "SC204" not in codes_in(clean_other_time)
+
     def test_sc301_parallel_shared_mutation(self):
         flagged = """
             from repro.suite.parallel import map_chunks
