@@ -26,8 +26,22 @@ from repro.statcheck.core import (
     analyze_source,
     discover_files,
 )
-from repro.statcheck.reporters import render_json, render_text
-from repro.statcheck.rules import RULE_CLASSES, RULE_CODES, all_rules, select_rules
+from repro.statcheck.reporters import (
+    findings_from_json,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.statcheck.rules import (
+    RULE_CLASSES,
+    RULE_CODES,
+    all_rule_codes,
+    all_rules,
+    full_catalogue,
+    resolve_selection,
+    select_rules,
+    validate_codes,
+)
 
 __all__ = [
     "Baseline",
@@ -40,12 +54,18 @@ __all__ = [
     "Rule",
     "RuleContext",
     "Severity",
+    "all_rule_codes",
     "all_rules",
     "analyze_file",
     "analyze_paths",
     "analyze_source",
     "discover_files",
+    "findings_from_json",
+    "full_catalogue",
     "render_json",
+    "render_sarif",
     "render_text",
+    "resolve_selection",
     "select_rules",
+    "validate_codes",
 ]

@@ -1,10 +1,17 @@
 """Baseline file support: grandfather legacy findings without hiding new ones.
 
 The baseline is a committed JSON file mapping finding fingerprints
-(``path::code::source-line``) to occurrence counts.  Fingerprints use the
-source text rather than line numbers, so unrelated edits above a finding do
-not invalidate the baseline.  Matching *consumes* counts: if a file gains a
-second copy of a baselined defect, the new copy is reported.
+(``path::code::source-line::occurrence``) to occurrence counts.
+Fingerprints use the source text rather than line numbers, so unrelated
+edits above a finding do not invalidate the baseline.  Matching *consumes*
+counts: if a file gains a second copy of a baselined defect, the new copy
+is reported.
+
+The trailing occurrence index (version 2) disambiguates duplicate source
+lines: two identical offending lines in one file used to share one
+fingerprint, so baselining one silently grandfathered both.  Now the
+first copy fingerprints as ``...::0``, the second as ``...::1``, and a
+baseline holding only ``...::0`` still reports the second copy.
 """
 
 from __future__ import annotations
@@ -17,8 +24,26 @@ from typing import Dict, List, Sequence, Tuple
 from repro.errors import StatcheckError
 from repro.statcheck.core import Finding
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 DEFAULT_BASELINE_NAME = "statcheck-baseline.json"
+
+
+def occurrence_fingerprints(findings: Sequence[Finding]) -> List[str]:
+    """Per-finding fingerprints extended with a same-line occurrence index.
+
+    Findings must be in report order (path, then line) — the index counts
+    how many earlier findings in the run share the line-independent
+    fingerprint, so the k-th identical copy is always ``::k`` regardless
+    of unrelated edits elsewhere in the file.
+    """
+    seen: Dict[str, int] = {}
+    fingerprints: List[str] = []
+    for finding in findings:
+        base = finding.fingerprint
+        index = seen.get(base, 0)
+        seen[base] = index + 1
+        fingerprints.append(f"{base}::{index}")
+    return fingerprints
 
 
 @dataclass
@@ -62,8 +87,7 @@ class Baseline:
         remaining = dict(self.counts)
         new: List[Finding] = []
         baselined: List[Finding] = []
-        for finding in findings:
-            fp = finding.fingerprint
+        for finding, fp in zip(findings, occurrence_fingerprints(findings)):
             if remaining.get(fp, 0) > 0:
                 remaining[fp] -= 1
                 baselined.append(finding)
@@ -74,8 +98,8 @@ class Baseline:
     @staticmethod
     def write(path, findings: Sequence[Finding]) -> None:
         counts: Dict[str, int] = {}
-        for finding in findings:
-            counts[finding.fingerprint] = counts.get(finding.fingerprint, 0) + 1
+        for fp in occurrence_fingerprints(findings):
+            counts[fp] = counts.get(fp, 0) + 1
         payload = {
             "version": BASELINE_VERSION,
             "comment": (

@@ -7,23 +7,41 @@ Exit codes (enforced by :func:`repro.cli.main`):
 - ``2`` — the analyzer itself failed (bad baseline, unknown rule code,
   missing path, ...): a :class:`repro.errors.StatcheckError` with a stable
   ``code`` attribute propagates to the top-level CLI handler.
+
+The syntactic pass (SC1xx-SC4xx) always runs.  The whole-program semantic
+pass (SC5xx-SC7xx) is opt-in via ``--semantic`` — or implied by selecting a
+semantic code explicitly or asking for ``--call-graph`` — because it parses
+the entire tree into one project model before any rule fires.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.statcheck.baseline import DEFAULT_BASELINE_NAME, Baseline
 from repro.statcheck.core import Finding, Severity, analyze_paths
-from repro.statcheck.reporters import render_json, render_text
-from repro.statcheck.rules import all_rules, select_rules
+from repro.statcheck.reporters import render_json, render_sarif, render_text
+from repro.statcheck.rules import (
+    full_catalogue,
+    resolve_selection,
+    validate_codes,
+)
+
+_RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}
 
 
 def list_rules_text() -> str:
     lines = ["code   sev      name                        summary"]
-    for rule in all_rules():
+    for cls in full_catalogue():
+        rule = cls()
         lines.append(
             f"{rule.code:6s} {rule.severity.label:8s} {rule.name:27s} "
             f"{rule.summary}"
@@ -32,7 +50,33 @@ def list_rules_text() -> str:
         "SC001  error    parse-error                 file does not parse "
         "(emitted by the framework)"
     )
+    lines.append(
+        "SC5xx-SC7xx are whole-program rules: run them with --semantic "
+        "(or select them explicitly)."
+    )
     return "\n".join(lines)
+
+
+def explain_rule_text(code: str) -> str:
+    """Full card for one rule code; unknown codes raise StatcheckError."""
+    (normalized,) = validate_codes([code])
+    for cls in full_catalogue():
+        if cls.code == normalized:
+            rule = cls()
+            semantic = rule.code[2] in "567"
+            return "\n".join(
+                [
+                    f"{rule.code} {rule.name} [{rule.severity.label}]"
+                    + (" (whole-program)" if semantic else ""),
+                    "",
+                    f"  {rule.summary}",
+                    "",
+                    f"  {rule.rationale}",
+                    "",
+                    f"  Suppress inline: # statcheck: ignore[{rule.code}]",
+                ]
+            )
+    raise AssertionError(f"validated code {normalized} not in catalogue")
 
 
 def _resolve_baseline(args: argparse.Namespace) -> Optional[Baseline]:
@@ -45,21 +89,58 @@ def _resolve_baseline(args: argparse.Namespace) -> Optional[Baseline]:
     return None
 
 
+def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
+    return raw.split(",") if raw else None
+
+
 def run_lint(args: argparse.Namespace) -> int:
     """Entry point called by ``repro lint``; returns the process exit code."""
     if args.list_rules:
         print(list_rules_text())
         return 0
+    if args.explain:
+        print(explain_rule_text(args.explain))
+        return 0
 
-    rules = (
-        select_rules(args.select.split(",")) if args.select else all_rules()
+    select = _split_codes(args.select)
+    ignore = _split_codes(getattr(args, "ignore", None))
+    syntactic_rules, semantic_rules = resolve_selection(select, ignore)
+
+    # The semantic pass is opt-in; selecting a semantic code explicitly or
+    # asking for the call graph is as clear an opt-in as --semantic.
+    run_semantic = bool(
+        args.semantic
+        or args.call_graph
+        or (select is not None and semantic_rules)
     )
-    reports = analyze_paths(args.paths, rules)
+
+    reports = analyze_paths(args.paths, syntactic_rules)
     findings: List[Finding] = []
     suppressed = 0
     for report in reports:
         findings.extend(report.findings)
         suppressed += len(report.suppressed)
+    files_scanned = len(reports)
+
+    if run_semantic:
+        from repro.statcheck.semantic.rules import analyze_semantic
+
+        semantic_report = analyze_semantic(args.paths, rules=semantic_rules)
+        findings.extend(semantic_report.findings)
+        suppressed += len(semantic_report.suppressed)
+        if args.call_graph:
+            graph = semantic_report.graph
+            Path(args.call_graph).write_text(
+                graph.to_dot(), encoding="utf-8"
+            )
+            print(
+                f"statcheck: wrote call graph "
+                f"({len(semantic_report.model.functions)} functions, "
+                f"{len(graph.edges)} edges) to {args.call_graph}",
+                file=sys.stderr,
+            )
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code, f.message))
 
     if args.write_baseline:
         target = args.baseline or DEFAULT_BASELINE_NAME
@@ -75,11 +156,11 @@ def run_lint(args: argparse.Namespace) -> int:
     else:
         new_findings, baselined = findings, []
 
-    renderer = render_json if args.format == "json" else render_text
+    renderer = _RENDERERS[args.format]
     print(
         renderer(
             new_findings,
-            files_scanned=len(reports),
+            files_scanned=files_scanned,
             baselined=len(baselined),
             suppressed=suppressed,
         )
@@ -100,7 +181,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -132,6 +213,30 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="CODES",
         help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--semantic",
+        action="store_true",
+        help="also run the whole-program semantic rules (SC5xx-SC7xx)",
+    )
+    parser.add_argument(
+        "--call-graph",
+        default=None,
+        metavar="DOT_PATH",
+        help="write the project call graph as Graphviz DOT (implies the "
+        "semantic model build)",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="CODE",
+        help="print the full card for one rule code and exit",
     )
     parser.add_argument(
         "--list-rules",

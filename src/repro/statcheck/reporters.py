@@ -1,11 +1,23 @@
-"""Finding reporters: human text and machine JSON."""
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0.
+
+Every renderer is a pure function of its inputs — no timestamps, hostnames,
+or absolute paths — so two runs over the same tree produce byte-identical
+reports.  :func:`findings_from_json` inverts :func:`render_json`, which lets
+tooling pipe a stored JSON report straight back into the baseline writer.
+"""
 
 from __future__ import annotations
 
 import json
 from typing import Dict, List, Sequence
 
+from repro.errors import StatcheckError
 from repro.statcheck.core import Finding, Severity
+
+JSON_REPORT_VERSION = 1
+
+#: statcheck severity -> SARIF 2.1.0 result level.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
 
 
 def severity_counts(findings: Sequence[Finding]) -> Dict[str, int]:
@@ -51,7 +63,7 @@ def render_json(
     suppressed: int = 0,
 ) -> str:
     payload = {
-        "version": 1,
+        "version": JSON_REPORT_VERSION,
         "files_scanned": files_scanned,
         "counts": severity_counts(findings),
         "baselined": baselined,
@@ -70,3 +82,134 @@ def render_json(
         ],
     }
     return json.dumps(payload, indent=2)
+
+
+def findings_from_json(text: str) -> List[Finding]:
+    """Parse a :func:`render_json` report back into :class:`Finding`s.
+
+    The inverse direction of the JSON reporter: a stored report can be
+    re-baselined (``Baseline.write``) or re-rendered without re-running the
+    analyzer.  Raises :class:`StatcheckError` on malformed input.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise StatcheckError(f"report is not valid JSON: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != JSON_REPORT_VERSION
+    ):
+        raise StatcheckError(
+            "report has unsupported format "
+            f"(expected JSON report version {JSON_REPORT_VERSION})"
+        )
+    raw_findings = payload.get("findings")
+    if not isinstance(raw_findings, list):
+        raise StatcheckError("report 'findings' must be a list")
+    findings: List[Finding] = []
+    for index, raw in enumerate(raw_findings):
+        if not isinstance(raw, dict):
+            raise StatcheckError(f"report finding #{index} is not an object")
+        try:
+            findings.append(
+                Finding(
+                    path=raw["path"],
+                    line=int(raw["line"]),
+                    col=int(raw["col"]),
+                    code=raw["code"],
+                    severity=Severity.from_label(raw["severity"]),
+                    message=raw["message"],
+                    source=raw.get("source", ""),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StatcheckError(
+                f"report finding #{index} is malformed: {exc}"
+            ) from exc
+    return findings
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    files_scanned: int,
+    baselined: int = 0,
+    suppressed: int = 0,
+) -> str:
+    """Render findings as a SARIF 2.1.0 log (one run, driver ``statcheck``).
+
+    Rule metadata is embedded for exactly the codes that appear in the
+    findings, sorted by code, so the log is a pure function of the findings
+    and uploads cleanly to code-scanning UIs.
+    """
+    from repro.statcheck.rules import full_catalogue
+
+    catalogue = {cls.code: cls for cls in full_catalogue()}
+    present = sorted({finding.code for finding in findings})
+    rule_index = {code: i for i, code in enumerate(present)}
+    rules = []
+    for code in present:
+        cls = catalogue.get(code)
+        descriptor = {
+            "id": code,
+            "name": cls.name if cls else code,
+            "shortDescription": {
+                "text": cls.summary if cls else "framework diagnostic"
+            },
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS[
+                    cls.severity.label if cls else "error"
+                ]
+            },
+        }
+        if cls is not None:
+            descriptor["fullDescription"] = {"text": cls.rationale}
+        rules.append(descriptor)
+
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.code,
+            "ruleIndex": rule_index[finding.code],
+            "level": _SARIF_LEVELS[finding.severity.label],
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/")
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                            "snippet": {"text": finding.source},
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "statcheck/v1": finding.fingerprint
+            },
+        }
+        results.append(result)
+
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "statcheck",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "properties": {
+                    "filesScanned": files_scanned,
+                    "baselined": baselined,
+                    "suppressed": suppressed,
+                },
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

@@ -12,7 +12,7 @@ Rules are grouped by failure class:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple, Type
+from typing import List, Optional, Sequence, Tuple, Type
 
 from repro.errors import StatcheckError
 from repro.statcheck.core import Rule
@@ -63,20 +63,80 @@ def all_rules() -> List[Rule]:
     return [cls() for cls in RULE_CLASSES]
 
 
-def select_rules(codes: Sequence[str]) -> List[Rule]:
-    """Instances for the given codes; unknown codes raise StatcheckError."""
-    by_code = {cls.code: cls for cls in RULE_CLASSES}
-    selected = []
+def _semantic_classes() -> Tuple[Type[Rule], ...]:
+    # Imported lazily: the semantic subpackage depends on rule modules in
+    # this package, so a top-level import would be circular.
+    from repro.statcheck.semantic.rules import SEMANTIC_RULE_CLASSES
+
+    return SEMANTIC_RULE_CLASSES
+
+
+def full_catalogue() -> Tuple[Type[Rule], ...]:
+    """Every rule class — syntactic (SC1xx-SC4xx) then semantic (SC5xx+)."""
+    return RULE_CLASSES + _semantic_classes()
+
+
+def all_rule_codes() -> Tuple[str, ...]:
+    """Every selectable rule code, syntactic and semantic, in code order."""
+    return tuple(cls.code for cls in full_catalogue())
+
+
+def validate_codes(codes: Sequence[str]) -> List[str]:
+    """Normalize and validate rule codes against the full catalogue.
+
+    Unknown codes (``SC999``, typos like ``SC10l``) raise a coded
+    :class:`~repro.errors.StatcheckError` listing every valid code, so a
+    mistyped ``--select``/``--ignore`` can never silently narrow a run.
+    """
+    known = set(all_rule_codes())
+    normalized: List[str] = []
     for code in codes:
-        normalized = code.strip().upper()
-        if not normalized:
+        cleaned = code.strip().upper()
+        if not cleaned:
             continue
-        if normalized not in by_code:
+        if cleaned not in known:
             raise StatcheckError(
-                f"unknown rule code {normalized!r} "
-                f"(known: {', '.join(RULE_CODES)})"
+                f"unknown rule code {cleaned!r} "
+                f"(valid codes: {', '.join(all_rule_codes())})"
             )
-        selected.append(by_code[normalized]())
+        normalized.append(cleaned)
+    return normalized
+
+
+def resolve_selection(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> Tuple[List[Rule], List[Rule]]:
+    """(syntactic rules, semantic rules) for a ``--select``/``--ignore`` pair.
+
+    ``select=None`` means the full catalogue; ``ignore`` is subtracted
+    afterwards.  Both lists are validated against the combined catalogue;
+    an empty final selection raises :class:`StatcheckError`.
+    """
+    selected = set(validate_codes(select)) if select is not None else None
+    ignored = set(validate_codes(ignore)) if ignore is not None else set()
+    if selected is not None and not selected:
+        raise StatcheckError("rule selection is empty")
+
+    def wanted(cls: Type[Rule]) -> bool:
+        if selected is not None and cls.code not in selected:
+            return False
+        return cls.code not in ignored
+
+    syntactic = [cls() for cls in RULE_CLASSES if wanted(cls)]
+    semantic = [cls() for cls in _semantic_classes() if wanted(cls)]
+    if not syntactic and not semantic:
+        raise StatcheckError("rule selection is empty")
+    return syntactic, semantic
+
+
+def select_rules(codes: Sequence[str]) -> List[Rule]:
+    """Instances for the given syntactic codes; unknown codes raise
+    StatcheckError (semantic codes are valid but resolve elsewhere —
+    use :func:`resolve_selection` for the combined catalogue)."""
+    validated = validate_codes(codes)
+    by_code = {cls.code: cls for cls in RULE_CLASSES}
+    selected = [by_code[code]() for code in validated if code in by_code]
     if not selected:
         raise StatcheckError("rule selection is empty")
     return selected
@@ -85,6 +145,10 @@ def select_rules(codes: Sequence[str]) -> List[Rule]:
 __all__ = [
     "RULE_CLASSES",
     "RULE_CODES",
+    "all_rule_codes",
     "all_rules",
+    "full_catalogue",
+    "resolve_selection",
     "select_rules",
+    "validate_codes",
 ]

@@ -62,6 +62,12 @@ def _bound_names(fn: ast.AST) -> Set[str]:
             for name in ast.walk(sub.optional_vars):
                 if isinstance(name, ast.Name):
                     bound.add(name.id)
+        elif isinstance(sub, ast.ExceptHandler) and sub.name:
+            bound.add(sub.name)
+        elif isinstance(sub, ast.comprehension):
+            for name in ast.walk(sub.target):
+                if isinstance(name, ast.Name):
+                    bound.add(name.id)
         elif isinstance(sub, ast.NamedExpr) and isinstance(
             sub.target, ast.Name
         ):

@@ -1,0 +1,42 @@
+"""Whole-program semantic analysis for statcheck (SC5xx-SC7xx).
+
+The syntactic rule catalogue (SC1xx-SC4xx) judges one file at a time; the
+invariants PRs 2-5 introduced — byte-identical chaos replays, pickle-clean
+process dispatch, thread-shared ``Service`` instances — are *cross-file*
+properties.  This subpackage builds a project-wide semantic model and runs
+interprocedural rule families on top of it:
+
+- :mod:`repro.statcheck.semantic.model` — module/import graph, function
+  table, class-hierarchy map (who subclasses ``Kernel``/``Service``/``Rule``)
+- :mod:`repro.statcheck.semantic.callgraph` — a conservative call graph
+  over the analyzed files, with witness-path extraction and DOT export
+- :mod:`repro.statcheck.semantic.taint` — determinism-sink detection and
+  root-to-sink reachability used by the SC5xx family
+- :mod:`repro.statcheck.semantic.rules` — the semantic rule catalogue:
+  SC5xx determinism taint, SC6xx process-boundary escape analysis,
+  SC7xx shared-state concurrency hazards
+
+Entry point: :func:`analyze_semantic` (used by ``repro lint --semantic``).
+"""
+
+from repro.statcheck.semantic.callgraph import CallGraph, build_call_graph
+from repro.statcheck.semantic.model import ProjectModel, build_model
+from repro.statcheck.semantic.rules import (
+    SEMANTIC_RULE_CLASSES,
+    SEMANTIC_RULE_CODES,
+    SemanticRule,
+    all_semantic_rules,
+    analyze_semantic,
+)
+
+__all__ = [
+    "CallGraph",
+    "ProjectModel",
+    "SEMANTIC_RULE_CLASSES",
+    "SEMANTIC_RULE_CODES",
+    "SemanticRule",
+    "all_semantic_rules",
+    "analyze_semantic",
+    "build_call_graph",
+    "build_model",
+]

@@ -1,0 +1,8 @@
+"""SC5xx fixture package: determinism taint across modules.
+
+``exporters`` holds the deterministic roots (pragma-marked); ``helpers``
+holds the sinks.  True positive: ``export_report`` reaches the unseeded
+``jitter`` helper two calls deep.  Near-misses: ``export_clean`` only
+reaches the seeded helper, and ``unrooted_sampler`` contains a sink but is
+reachable from no root.
+"""

@@ -1,0 +1,27 @@
+"""Deterministic export roots for the SC5xx fixture."""
+
+import random
+
+from detpkg.helpers import seeded_jitter, shuffle_tags, spread, stable_tags
+
+
+def export_report(values):  # statcheck: deterministic
+    """True positive: reaches the unseeded ``jitter`` sink via ``spread``
+    (and the set-iteration sink in ``shuffle_tags``)."""
+    return {
+        "values": [spread(v) for v in values],
+        "tags": shuffle_tags(["a", "b"]),
+    }
+
+
+def export_clean(values, seed):  # statcheck: deterministic
+    """Near-miss: same shape, but every hop is seeded/sorted."""
+    return {
+        "values": [seeded_jitter(v, seed) for v in values],
+        "tags": stable_tags(["a", "b"]),
+    }
+
+
+def unrooted_sampler(values):
+    """Near-miss: holds a sink but is not reachable from any root."""
+    return random.choice(values)

@@ -1,0 +1,29 @@
+"""Helpers reached (or not) by the deterministic exporters."""
+
+import random
+
+
+def jitter(value):
+    """Unseeded draw: a nondeterminism sink when reached from a root."""
+    return value + random.random()
+
+
+def shuffle_tags(tags):
+    """Second-level helper with its own sink (set-iteration order)."""
+    return [tag for tag in {t.lower() for t in tags}]
+
+
+def spread(value):
+    """Reaches ``jitter`` — an intermediate hop for witness chains."""
+    return jitter(value) * 2.0
+
+
+def seeded_jitter(value, seed):
+    """Near-miss: seeded instance RNG is deterministic, not a sink."""
+    rng = random.Random(seed)
+    return value + rng.random()
+
+
+def stable_tags(tags):
+    """Near-miss: sorting the set removes the iteration-order hazard."""
+    return [tag for tag in sorted({t.lower() for t in tags})]

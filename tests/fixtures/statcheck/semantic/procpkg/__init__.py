@@ -1,0 +1,6 @@
+"""SC6xx fixture package: process-boundary escape analysis.
+
+True positives flow pickle-hostile values into process boundaries through
+local dataflow (the syntactic SC302 cannot see them); near-misses use the
+same shapes against thread pools or with module-level functions.
+"""

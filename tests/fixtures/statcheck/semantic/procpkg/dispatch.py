@@ -1,0 +1,55 @@
+"""Process-boundary dispatch sites for the SC6xx fixture."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+
+def run_chunks_in_processes(fn, chunks):
+    """Stand-in for the suite's process entrypoint (name is what matters)."""
+    return [fn(chunk) for chunk in chunks]
+
+
+def chunk_total(chunk):
+    return sum(chunk)
+
+
+def escaped_lambda(chunks):
+    """SC601 true positive: the lambda reaches the boundary via ``work``."""
+    work = lambda chunk: sum(chunk)  # noqa: E731
+    return run_chunks_in_processes(work, chunks)
+
+
+def escaped_generator(items):
+    """SC601 true positive: a generator expression crosses the boundary."""
+    chunks = (item for item in items)
+    return run_chunks_in_processes(chunk_total, chunks)
+
+
+def module_level_worker(chunks):
+    """Near-miss: a module-level function is pickle-safe."""
+    return run_chunks_in_processes(chunk_total, chunks)
+
+
+def captured_lock(chunks):
+    """SC602 true positive: the worker closes over a process-local lock."""
+    guard = threading.Lock()
+
+    def work(chunk):
+        with guard:
+            return sum(chunk)
+
+    return run_chunks_in_processes(work, chunks)
+
+
+def thread_pool_closure(chunks):
+    """Near-miss: thread pools share the address space; no pickling."""
+    pool = ThreadPoolExecutor()
+    work = lambda chunk: sum(chunk)  # noqa: E731
+    return [pool.submit(work, chunk) for chunk in chunks]
+
+
+def process_pool_indirect(chunks):
+    """SC601 true positive: dataflow into a process pool's submit."""
+    pool = ProcessPoolExecutor()
+    work = lambda chunk: sum(chunk)  # noqa: E731
+    return [pool.submit(work, chunk) for chunk in chunks]

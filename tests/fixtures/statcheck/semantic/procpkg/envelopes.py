@@ -1,0 +1,32 @@
+"""Service-envelope construction sites for the SC603 fixture."""
+
+
+class ServiceRequest:
+    """Stand-in envelope (constructor name is what the analyzer keys on)."""
+
+    def __init__(self, payload, query=None, trace=None):
+        self.payload = payload
+        self.query = query
+        self.trace = trace
+
+
+def lazy_payload_request(frames):
+    """SC603 true positive: a generator expression stored in an envelope."""
+    payload = (frame * 2 for frame in frames)
+    return ServiceRequest(payload=payload)
+
+
+def callback_request(handler_args):
+    """SC603 true positive: a lambda rides the envelope across backends."""
+    return ServiceRequest(payload=lambda: handler_args)
+
+
+def handle_request(path):
+    """SC603 true positive: an open file handle stored in an envelope."""
+    return ServiceRequest(payload=open(path))
+
+
+def plain_request(frames):
+    """Near-miss: materialized list payloads pickle everywhere."""
+    payload = [frame * 2 for frame in frames]
+    return ServiceRequest(payload=payload)

@@ -1,0 +1,6 @@
+"""SC7xx fixture package: shared-state concurrency hazards.
+
+``services`` defines a ``Service`` stub and subclasses that executors
+would share across thread workers; ``registry`` exercises module-level
+state reachable from thread-backend callables.
+"""

@@ -1,0 +1,41 @@
+"""Module-level state reachable from thread callables (SC702 fixture)."""
+
+import threading
+
+from svcpkg.services import Service
+
+_RESULTS = []
+_STATS = {}
+_STATS_LOCK = threading.Lock()
+_SCRATCH = threading.local()
+
+
+class CollectingService(Service):
+    """SC702 true positive: hot path appends to a module-level list."""
+
+    name = "collecting"
+
+    def process(self, request):
+        _RESULTS.append(request)
+        return request
+
+
+class GuardedService(Service):
+    """Near-miss: the module-level mutation is lock-guarded."""
+
+    name = "guarded"
+
+    def process(self, request):
+        with _STATS_LOCK:
+            _STATS[request] = True
+        return request
+
+
+class LocalScratchService(Service):
+    """Near-miss: threading.local is the sanctioned per-thread pattern."""
+
+    name = "scratch"
+
+    def process(self, request):
+        _SCRATCH.last = request
+        return request

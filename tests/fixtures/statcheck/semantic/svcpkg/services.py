@@ -1,0 +1,75 @@
+"""Service subclasses for the SC701 fixture."""
+
+import threading
+
+
+class Service:
+    """Stub base (hierarchy root is matched by name)."""
+
+    name = ""
+
+    def process(self, request):
+        raise NotImplementedError
+
+    def warmup(self):
+        pass
+
+
+class LazyCacheService(Service):
+    """SC701 true positive: materializes state inside the hot path."""
+
+    name = "lazy"
+
+    def __init__(self, model):
+        self.model = model
+
+    def process(self, request):
+        self._cache = {}  # write-write race across thread workers
+        self._cache[request] = self.model
+        return self._cache[request]
+
+
+class CountingService(Service):
+    """SC701 true positive via a self-called helper on the hot path."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.total = 0
+
+    def process(self, request):
+        self._bump()
+        return request
+
+    def _bump(self):
+        self.seen = getattr(self, "seen", 0) + 1
+
+
+class WarmupService(Service):
+    """Near-miss: warmup() runs before concurrent dispatch begins."""
+
+    name = "warm"
+
+    def __init__(self, loader):
+        self.loader = loader
+
+    def warmup(self):
+        self.index = self.loader()
+
+    def process(self, request):
+        return self.index[request]
+
+
+class LockedService(Service):
+    """Near-miss: the hot-path write is lock-guarded and initialized."""
+
+    name = "locked"
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def process(self, request):
+        with self._lock:
+            self.hits += 1
+        return request

@@ -360,11 +360,44 @@ class TestFramework:
                 source="x = np.log(probs)",
             )
 
-        first, second = finding(3), finding(9)  # same fingerprint
-        baseline = Baseline(counts={first.fingerprint: 1})
+        first, second = finding(3), finding(9)  # same base fingerprint
+        baseline = Baseline(counts={f"{first.fingerprint}::0": 1})
         new, baselined = baseline.partition([first, second])
         assert baselined == [first]
         assert new == [second]  # second occurrence is NOT grandfathered
+
+    def test_baseline_duplicate_lines_get_distinct_fingerprints(self, tmp_path):
+        """Regression: two identical offending lines used to collapse into
+        one fingerprint, so baselining one silently grandfathered both."""
+        from repro.statcheck.baseline import occurrence_fingerprints
+
+        def finding(line):
+            return Finding(
+                path="src/x.py",
+                line=line,
+                col=1,
+                code="SC402",
+                severity=Severity.ERROR,
+                message="m",
+                source="except:",
+            )
+
+        pair = [finding(3), finding(9)]
+        fps = occurrence_fingerprints(pair)
+        assert len(set(fps)) == 2
+        assert fps[0].endswith("::0") and fps[1].endswith("::1")
+
+        target = tmp_path / "baseline.json"
+        Baseline.write(target, pair)
+        loaded = Baseline.load(target)
+        # both copies are recorded individually...
+        new, baselined = loaded.partition(pair)
+        assert new == [] and baselined == pair
+        # ...and a third identical copy is still reported as new
+        triple = pair + [finding(27)]
+        new, baselined = loaded.partition(triple)
+        assert baselined == pair
+        assert new == [triple[2]]
 
     def test_baseline_roundtrip(self, tmp_path):
         finding = Finding(
@@ -379,7 +412,7 @@ class TestFramework:
         target = tmp_path / "baseline.json"
         Baseline.write(target, [finding])
         loaded = Baseline.load(target)
-        assert loaded.counts == {finding.fingerprint: 1}
+        assert loaded.counts == {f"{finding.fingerprint}::0": 1}
 
     def test_baseline_rejects_malformed_json(self, tmp_path):
         bad = tmp_path / "baseline.json"
