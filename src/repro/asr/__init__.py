@@ -14,7 +14,13 @@ from repro.asr.evaluate import (
 )
 from repro.asr.quantize import QuantizedDNN, agreement, quantize
 from repro.asr.streaming import StreamingDecoder, StreamingFeatureExtractor
-from repro.asr.vad import SpeechSegment, VADConfig, VoiceActivityDetector
+from repro.asr.vad import (
+    EndpointConfig,
+    SpeechSegment,
+    StreamingEndpointer,
+    VADConfig,
+    VoiceActivityDetector,
+)
 from repro.asr.acoustic import (
     DNNAcousticModel,
     GMMAcousticModel,
@@ -59,8 +65,10 @@ __all__ = [
     "PHONEMES",
     "SAMPLE_RATE",
     "STATES_PER_PHONEME",
+    "EndpointConfig",
     "SpeechSegment",
     "StreamingDecoder",
+    "StreamingEndpointer",
     "StreamingFeatureExtractor",
     "VADConfig",
     "VoiceActivityDetector",

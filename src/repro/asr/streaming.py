@@ -21,6 +21,7 @@ from repro.asr.audio import Waveform
 from repro.asr.decoder import DecodeResult, Decoder
 from repro.asr.features import FeatureConfig, FeatureExtractor, compute_deltas
 from repro.errors import DecodingError
+from repro.profiling import NullProfiler, Profiler
 
 
 class StreamingFeatureExtractor:
@@ -104,7 +105,23 @@ class StreamingFeatureExtractor:
         return rows
 
     def flush(self) -> np.ndarray:
-        """Emit the remaining frames (tail lookahead resolved by padding)."""
+        """Emit the remaining frames (tail lookahead resolved by padding).
+
+        An utterance whose *total* length never reached one frame window is
+        zero-padded to a single frame here, matching the offline extractor
+        (``frame_signal`` pads sub-frame signals rather than dropping them).
+        A stream that received no samples at all stays empty — padding it
+        would fabricate a frame out of nothing.
+        """
+        if not self._cepstra and len(self._sample_buffer):
+            # Sub-frame utterance: the buffer holds every (already
+            # pre-emphasized) sample; pad with zeros exactly as the offline
+            # path pads the raw signal after its own pre-emphasis.
+            padded = np.zeros(self._frame_size)
+            padded[: len(self._sample_buffer)] = self._sample_buffer
+            rows = self._extractor.extract(Waveform(padded, self.sample_rate))
+            self._cepstra.extend(rows[:1])
+            self._sample_buffer = np.zeros(0)
         return self._release(final=True)
 
     @property
@@ -120,8 +137,12 @@ class StreamingDecoder:
     >>> streaming.finish().text                        # doctest: +SKIP
     """
 
-    def __init__(self, decoder: Decoder):
+    def __init__(self, decoder: Decoder, profiler: Optional[Profiler] = None):
         self.decoder = decoder
+        #: Sections mirror the offline decoder's Figure 9 breakdown
+        #: (``asr.features`` / ``asr.scoring`` / ``asr.search``) so a
+        #: streaming session attributes component time under the same names.
+        self.profiler = profiler if profiler is not None else NullProfiler()
         self._features = StreamingFeatureExtractor(decoder.feature_extractor.config)
         graph = decoder._graph
         self._n_states = len(graph.pstate)
@@ -131,6 +152,11 @@ class StreamingDecoder:
         self._frames_seen = 0
         self._finished = False
 
+    @property
+    def frames_seen(self) -> int:
+        """Frames the Viterbi has consumed so far."""
+        return self._frames_seen
+
     # -- core stepping ----------------------------------------------------------
 
     def _step_frames(self, features: np.ndarray) -> None:
@@ -138,7 +164,14 @@ class StreamingDecoder:
             return
         decoder = self.decoder
         graph = decoder._graph
-        emissions = decoder.acoustic_model.emission_scores(features)
+        with self.profiler.section("asr.scoring"):
+            emissions = decoder.acoustic_model.emission_scores(features)
+        with self.profiler.section("asr.search"):
+            self._search_frames(features, emissions)
+
+    def _search_frames(self, features: np.ndarray, emissions: np.ndarray) -> None:
+        decoder = self.decoder
+        graph = decoder._graph
         frame_scores = emissions[:, graph.pstate]
         n_words = len(decoder.vocabulary)
         neg_inf = -1e30
@@ -204,7 +237,9 @@ class StreamingDecoder:
         """Add an audio chunk (any length, including empty)."""
         if self._finished:
             raise DecodingError("decoder already finished; create a new one")
-        self._step_frames(self._features.push(samples))
+        with self.profiler.section("asr.features"):
+            rows = self._features.push(samples)
+        self._step_frames(rows)
 
     def partial(self) -> str:
         """Best running hypothesis over the audio so far ('' before any frame)."""
@@ -214,7 +249,9 @@ class StreamingDecoder:
     def finish(self) -> DecodeResult:
         """Flush buffered audio and return the final result."""
         if not self._finished:
-            self._step_frames(self._features.flush())
+            with self.profiler.section("asr.features"):
+                rows = self._features.flush()
+            self._step_frames(rows)
             self._finished = True
         result = self._best_result()
         if result is None:

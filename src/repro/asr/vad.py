@@ -119,3 +119,90 @@ class VoiceActivityDetector:
         """Fraction of frames judged to be speech."""
         mask = self.speech_mask(waveform)
         return float(mask.mean()) if len(mask) else 0.0
+
+
+@dataclass(frozen=True)
+class EndpointConfig:
+    """Parameters of the streaming endpointer.
+
+    ``vad`` supplies the frame/threshold/floor model shared with the batch
+    detector; ``min_trailing_silence`` is how many consecutive non-speech
+    frames (after speech has been heard) close the utterance — the classic
+    endpointing hangover, distinct from the batch detector's smoothing
+    hangover.
+    """
+
+    vad: VADConfig = VADConfig()
+    min_trailing_silence: int = 15  # frames (0.02 s each → 300 ms)
+
+    def __post_init__(self) -> None:
+        if self.min_trailing_silence < 1:
+            raise ConfigurationError("min_trailing_silence must be >= 1")
+
+
+class StreamingEndpointer:
+    """Causal utterance endpointing over arriving audio chunks.
+
+    The gateway feeds every chunk through :meth:`push` and polls
+    :attr:`endpointed`; the decision is *when to finalize*, never which
+    audio to decode — the decoder always sees the full stream, so
+    endpointing cannot perturb the transcript (the streaming-equivalence
+    guarantee in ``docs/STREAMING.md``).
+
+    The detector is the causal twin of :class:`VoiceActivityDetector`: per
+    20 ms frame RMS energy against an adaptive floor (the running
+    ``floor_percentile`` of all energies heard so far, capped at
+    ``max_floor_db``).  Speech raises the trigger; ``min_trailing_silence``
+    consecutive quiet frames after speech mark the endpoint.  Deterministic:
+    decisions depend only on the samples, never on wall time.
+    """
+
+    def __init__(self, config: EndpointConfig = EndpointConfig(),
+                 sample_rate: int = 16000):
+        self.config = config
+        self.sample_rate = sample_rate
+        self._frame = max(int(config.vad.frame_length * sample_rate), 1)
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all audio (new utterance on the same channel)."""
+        self._buffer = np.zeros(0)
+        self._energies: List[float] = []
+        self.speech_started = False
+        self.endpointed = False
+        self._trailing_silence = 0
+
+    @property
+    def frames_seen(self) -> int:
+        return len(self._energies)
+
+    def push(self, samples: np.ndarray) -> bool:
+        """Add audio; returns the (possibly just-flipped) endpoint flag."""
+        samples = np.asarray(samples, dtype=float).ravel()
+        if len(samples):
+            self._buffer = np.concatenate([self._buffer, samples])
+        n_frames = len(self._buffer) // self._frame
+        if n_frames == 0 or self.endpointed:
+            return self.endpointed
+        frames = self._buffer[: n_frames * self._frame].reshape(
+            n_frames, self._frame
+        )
+        self._buffer = self._buffer[n_frames * self._frame :]
+        rms = np.sqrt((frames**2).mean(axis=1))
+        energies = 20.0 * np.log10(np.maximum(rms, 1e-5))
+        vad = self.config.vad
+        for energy in energies:
+            self._energies.append(float(energy))
+            floor = min(
+                float(np.percentile(self._energies, vad.floor_percentile)),
+                vad.max_floor_db,
+            )
+            if energy > floor + vad.threshold_db:
+                self.speech_started = True
+                self._trailing_silence = 0
+            elif self.speech_started:
+                self._trailing_silence += 1
+                if self._trailing_silence >= self.config.min_trailing_silence:
+                    self.endpointed = True
+                    break
+        return self.endpointed

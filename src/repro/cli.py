@@ -8,6 +8,7 @@ Subcommands::
     repro serve-bench [--queries 16] [--backend process] [--workers 2]
     repro serve-bench --trace spans.jsonl --chrome-trace trace.json --metrics
     repro serve-bench --chaos 42 [--queries 16] [--trace spans.jsonl]
+    repro serve-bench --streaming [--queries 16] [--chunk-ms 100] [--trace spans.jsonl]
     repro trace-report spans.jsonl [--limit 3] [--chrome trace.json] [--mm1 0.7]
     repro trace-report spans.jsonl --critical-path [--tail-quantile 0.99] --roofline
     repro bench [run] [--quick] [--json] [--tag pr5] [--filter suite.]
@@ -205,6 +206,109 @@ def _cmd_chaos_bench(args: argparse.Namespace, pipeline, queries) -> int:
     return 0 if (replayed and spans_replayed) else 2
 
 
+def _cmd_streaming_bench(args: argparse.Namespace, pipeline, queries) -> int:
+    """``serve-bench --streaming``: the session front door, measured.
+
+    Drives every query through the asyncio gateway in arrival-interleaved
+    audio chunks (partials polled on each feed, endpointing armed), then
+    checks the streaming-equivalence anchor: a session fed the whole
+    utterance as one chunk and finished without polling must reproduce
+    ``PlanExecutor.run`` *byte-identically* — response fields and the
+    timing-stripped span export both.  Exits 2 when the anchor breaks.
+    """
+    import time
+
+    from repro.analysis import format_table
+    from repro.obs import (
+        MetricsRegistry,
+        collect_spans,
+        format_service_summary,
+        to_jsonl,
+        write_chrome_trace,
+    )
+    from repro.obs.metrics import percentile
+    from repro.serving import ASR, serve_streams
+
+    executor = pipeline.serving
+    registry = MetricsRegistry()
+    executor.trace_seed = 0
+    executor.metrics = registry
+    executor.warmup()
+    try:
+        start = time.perf_counter()
+        report = serve_streams(
+            executor,
+            queries,
+            chunk_seconds=args.chunk_ms / 1000.0,
+            max_workers=args.workers if args.workers else 8,
+        )
+        wall = time.perf_counter() - start
+
+        mismatched = []
+        for ordinal, query in enumerate(queries):
+            reference = executor.run(query, ordinal=ordinal, on_error="degrade")
+            session = executor.services[ASR].open_session(
+                query=query, ordinal=ordinal, seed=executor.trace_seed
+            )
+            session.feed(query.audio)
+            outcome = session.finish()
+            replay = executor.run(
+                query, ordinal=ordinal, precomputed={ASR: outcome},
+                wall_start=session.opened_at, on_error="degrade",
+            )
+            same_fields = (
+                _chaos_fingerprint([reference]) == _chaos_fingerprint([replay])
+            )
+            same_spans = (
+                to_jsonl(reference.spans, timing=False)
+                == to_jsonl(replay.spans, timing=False)
+            )
+            if not (same_fields and same_spans):
+                mismatched.append(ordinal)
+    finally:
+        executor.trace_seed = None
+        executor.metrics = None
+
+    n = len(queries)
+    ttfps = [t for t in report.ttfp_seconds if t is not None]
+    rows = [
+        ["sessions", str(n)],
+        ["wall seconds", f"{wall:.2f}"],
+        ["sessions/s", f"{n / wall:.2f}"],
+        ["partials emitted", str(report.partials_total)],
+        ["endpointed early", str(sum(report.endpointed))],
+        ["late chunks dropped", str(report.late_chunks)],
+        ["ttfp p50 (ms)", f"{percentile(ttfps, 50) * 1000:.1f}"],
+        ["ttfp p95 (ms)", f"{percentile(ttfps, 95) * 1000:.1f}"],
+    ]
+    print(format_table(
+        f"Streaming gateway ({n} {args.mix.upper()} queries, "
+        f"{args.chunk_ms} ms chunks)",
+        ["Metric", "Value"], rows,
+    ))
+    print(format_service_summary(
+        registry, title="Streaming latency (TTFP next to e2e)"
+    ))
+
+    spans = collect_spans(report.responses)
+    if args.trace:
+        from repro.obs import write_jsonl
+
+        n_spans = write_jsonl(spans, args.trace)
+        print(f"wrote {n_spans} spans to {args.trace}", file=sys.stderr)
+    if args.chrome_trace:
+        n_events = write_chrome_trace(spans, args.chrome_trace)
+        print(f"wrote {n_events} trace events to {args.chrome_trace}",
+              file=sys.stderr)
+
+    if mismatched:
+        print(f"single-chunk equivalence: FAILED at ordinals {mismatched}")
+    else:
+        print("single-chunk equivalence: byte-identical "
+              f"(fields + deterministic spans, {n} queries)")
+    return 2 if mismatched else 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     import time
 
@@ -221,6 +325,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     queries = [base[i % len(base)] for i in range(args.queries)]
     if args.chaos is not None:
         return _cmd_chaos_bench(args, pipeline, queries)
+    if args.streaming:
+        return _cmd_streaming_bench(args, pipeline, queries)
     from repro.obs import (
         MetricsRegistry,
         collect_spans,
@@ -453,6 +559,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos", type=int, default=None, metavar="SEED",
         help="run the seeded chaos bench instead: availability/goodput under "
              "the default fault plan, with a replay-determinism check",
+    )
+    serve.add_argument(
+        "--streaming", action="store_true",
+        help="drive the asyncio session gateway instead: chunked audio, "
+             "partial hypotheses, endpointing, TTFP percentiles, and the "
+             "single-chunk byte-equivalence check (exit 2 on mismatch)",
+    )
+    serve.add_argument(
+        "--chunk-ms", type=float, default=100.0, metavar="MS",
+        help="audio chunk duration for --streaming (default 100 ms)",
     )
     serve.add_argument(
         "--trace", default=None, metavar="PATH",

@@ -130,6 +130,19 @@ class InjectedFaultError(ServiceError):
             self.code = code
 
 
+class SessionError(ServiceError):
+    """A streaming service session was used outside its lifecycle contract.
+
+    Raised by :mod:`repro.serving.sessions` when a session is fed after
+    ``finish()``/``cancel()``, finished twice with conflicting expectations,
+    finished with no audio, or asked to combine chunks of incompatible
+    types.  Barge-in itself is not an error — ``cancel()`` succeeds — but
+    *using* a cancelled session is.
+    """
+
+    code = "SESSION"
+
+
 class TraceError(SiriusError):
     """The tracing/metrics layer was used outside its contract.
 

@@ -8,7 +8,9 @@ produces those measurements from a live run:
 - :mod:`repro.obs.trace` — :class:`Span`/:class:`Tracer` with
   deterministic seeded IDs (chaos replays export byte-identical span
   forests) propagated through the plan executor, every execution backend,
-  the resilience wrappers, and down to profiler sections;
+  the resilience wrappers, and down to profiler sections; streaming runs
+  add ``partial`` spans, from which time-to-first-partial
+  (``serve.ttfp.seconds``) is derived next to end-to-end latency;
 - :mod:`repro.obs.context` — the ambient (thread-local) tracer channel
   that lets layers without shared signatures report into one trace;
 - :mod:`repro.obs.metrics` — counters and log-bucketed latency histograms
@@ -62,6 +64,7 @@ from repro.obs.export import (
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     E2E_HISTOGRAM,
+    TTFP_HISTOGRAM,
     Counter,
     Histogram,
     HistogramSnapshot,
@@ -87,6 +90,7 @@ from repro.obs.report import (
 from repro.obs.trace import (
     ATTEMPT,
     KERNEL,
+    PARTIAL,
     QUERY,
     SECTION,
     SERVICE,
@@ -109,10 +113,12 @@ __all__ = [
     "KERNEL",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "PARTIAL",
     "QUERY",
     "SECTION",
     "SERVICE",
     "Span",
+    "TTFP_HISTOGRAM",
     "TraceAnalysis",
     "TraceContext",
     "Tracer",

@@ -308,6 +308,113 @@ class ServePlainBenchmark(_ServeBenchmark):
         }
 
 
+class ServeStreamingBenchmark(_ServeBenchmark):
+    """Chunked sessions through the asyncio gateway: streaming determinism.
+
+    Audio arrives in 150 ms chunks, all sessions interleaved round-robin;
+    partial hypotheses are polled on every feed.  Partial emission is a
+    pure function of the audio and the chunking (each session's bouts are
+    lock-serialized, so poll *k* always sees exactly the frames chunk *k*
+    decoded), which makes the partial/endpoint/late-chunk counts and the
+    span forest gateable.  ``single_chunk_equivalent`` is the refactor's
+    correctness anchor: a one-chunk session replayed through
+    ``run(precomputed=...)`` must match plain ``run()`` byte-for-byte.
+    """
+
+    name = "serve.streaming"
+    description = "chunked streaming sessions via the asyncio gateway (seed 0)"
+    metric_specs = {
+        "answer_fingerprint": EXACT,
+        "transcript_fingerprint": EXACT,
+        "partial_fingerprint": EXACT,
+        "partials": EXACT,
+        "partial_spans": EXACT,
+        "spans": EXACT,
+        "endpointed": EXACT,
+        "late_chunks": EXACT,
+        "single_chunk_equivalent": EXACT,
+        "ok": EXACT,
+        "degraded": EXACT,
+        "failed": EXACT,
+    }
+
+    def prepare(self, quick: bool) -> Any:
+        return self._pipeline_and_queries(quick)
+
+    def run(self, state: Any, quick: bool) -> Dict[str, float]:
+        from repro.obs.metrics import TTFP_HISTOGRAM
+        from repro.obs.trace import PARTIAL, sort_key
+        from repro.serving import serve_streams
+
+        pipeline, queries = state
+        executor = pipeline.serving
+        executor.trace_seed = 0
+        registry = MetricsRegistry()
+        saved_metrics = executor.metrics
+        executor.metrics = registry
+        try:
+            report = serve_streams(executor, queries, chunk_seconds=0.15)
+            equivalent = all(
+                self._single_chunk_equivalent(executor, query, ordinal)
+                for ordinal, query in enumerate(queries)
+            )
+        finally:
+            executor.trace_seed = None
+            executor.metrics = saved_metrics
+        spans = collect_spans(report.responses)
+        partial_spans = [s for s in spans if s.kind == PARTIAL]
+        partial_texts = "\n".join(
+            f"{s.trace_id}:{s.attributes.get('partial_index')}:"
+            f"{s.attributes.get('chars')}"
+            for s in sorted(partial_spans, key=sort_key)
+        )
+        ttfp = registry.histogram(TTFP_HISTOGRAM)
+        failed = sum(1 for r in report.responses if r.failed)
+        degraded = sum(
+            1 for r in report.responses if r.degraded and not r.failed
+        )
+        return {
+            "answer_fingerprint": fingerprint(
+                "\n".join(r.answer for r in report.responses)
+            ),
+            "transcript_fingerprint": fingerprint(
+                "\n".join(r.transcript for r in report.responses)
+            ),
+            "partial_fingerprint": fingerprint(partial_texts),
+            "partials": report.partials_total,
+            "partial_spans": len(partial_spans),
+            "spans": len(spans),
+            "endpointed": sum(1 for flag in report.endpointed if flag),
+            "late_chunks": report.late_chunks,
+            "single_chunk_equivalent": int(equivalent),
+            "ok": len(report.responses) - failed - degraded,
+            "degraded": degraded,
+            "failed": failed,
+            "ttfp_p50_ms": ttfp.percentile(50) * 1000 if ttfp.count else 0.0,
+        }
+
+    @staticmethod
+    def _single_chunk_equivalent(executor, query, ordinal: int) -> bool:
+        from repro.obs.export import to_jsonl
+        from repro.serving.service import ASR
+
+        plain = executor.run(query, ordinal=ordinal)
+        session = executor.services[ASR].open_session(
+            query=query, ordinal=ordinal, seed=executor.trace_seed
+        )
+        session.feed(query.audio)
+        outcome = session.finish()
+        replay = executor.run(query, ordinal=ordinal, precomputed={ASR: outcome})
+        fields = all(
+            getattr(plain, name) == getattr(replay, name)
+            for name in ("query_type", "transcript", "action", "answer",
+                         "matched_image", "degraded", "failures")
+        )
+        return fields and to_jsonl(
+            collect_spans([plain]), timing=False
+        ) == to_jsonl(collect_spans([replay]), timing=False)
+
+
 def _populate() -> None:
     if _REGISTRY:
         return
@@ -315,6 +422,7 @@ def _populate() -> None:
         register(KernelBenchmark(kernel_name, scale=0.5, quick_scale=0.1))
     register(ServeChaosBenchmark())
     register(ServePlainBenchmark())
+    register(ServeStreamingBenchmark())
 
 
 # -- running ------------------------------------------------------------------------

@@ -313,6 +313,11 @@ class MetricsRegistry:
 #: Histogram/counter names the serving layer records under.
 E2E_HISTOGRAM = "serve.e2e.seconds"
 
+#: Time from session open to the first non-empty partial hypothesis — the
+#: streaming gateway's responsiveness metric, reported next to end-to-end
+#: latency (the user hears *something* long before the answer is ready).
+TTFP_HISTOGRAM = "serve.ttfp.seconds"
+
 
 def service_histogram_name(label: str) -> str:
     """Per-service latency histogram name for a service label."""

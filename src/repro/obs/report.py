@@ -21,15 +21,25 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.datacenter.simulation import mm1_percentile, simulate_from_histogram
 from repro.obs.metrics import (
     E2E_HISTOGRAM,
+    TTFP_HISTOGRAM,
     MetricsRegistry,
     service_histogram_name,
 )
-from repro.obs.trace import ATTEMPT, QUERY, SECTION, SERVICE, Span, sort_key
+from repro.obs.trace import (
+    ATTEMPT,
+    PARTIAL,
+    QUERY,
+    SECTION,
+    SERVICE,
+    Span,
+    sort_key,
+)
 
 #: Attributes surfaced inline in the waterfall, in display order.
 _WATERFALL_ATTRIBUTES = (
     "attempts", "virtual_seconds", "fault.kind", "fault.code",
     "breaker", "rejected", "degraded", "failed", "query_type",
+    "partial_index", "chars", "chunks", "endpointed",
 )
 
 
@@ -41,15 +51,20 @@ def metrics_from_spans(
 
     Query spans feed the end-to-end histogram; service spans feed the
     per-service ones (keyed by service label).  Wait times, where recorded,
-    feed the per-service wait histograms.  Attempt/section spans are
-    structure, not samples — retries would double-count their stage.
+    feed the per-service wait histograms.  Each trace's *first* partial
+    span yields one time-to-first-partial sample (partial end minus the
+    query root's start).  Attempt/section spans are structure, not samples
+    — retries would double-count their stage.
     """
     registry = registry if registry is not None else MetricsRegistry()
     from repro.obs.metrics import wait_histogram_name
 
+    query_starts: Dict[str, float] = {}
+    first_partial: Dict[str, float] = {}
     for span in spans:
         if span.kind == QUERY:
             registry.histogram(E2E_HISTOGRAM).observe(span.duration)
+            query_starts[span.trace_id] = span.start
             if span.status == "error" or span.attributes.get("failed"):
                 registry.counter("serve.failed").inc()
             elif span.attributes.get("degraded"):
@@ -61,6 +76,15 @@ def metrics_from_spans(
             registry.histogram(service_histogram_name(label)).observe(span.duration)
             if span.wait:
                 registry.histogram(wait_histogram_name(label)).observe(span.wait)
+        elif span.kind == PARTIAL:
+            registry.counter("serve.partials").inc()
+            trace = span.trace_id
+            if trace not in first_partial or span.end < first_partial[trace]:
+                first_partial[trace] = span.end
+    for trace, emitted in sorted(first_partial.items()):
+        start = query_starts.get(trace)
+        if start is not None and emitted > start:
+            registry.histogram(TTFP_HISTOGRAM).observe(emitted - start)
     return registry
 
 
@@ -142,7 +166,8 @@ def format_service_summary(registry: MetricsRegistry, title: str = "Latency summ
         return f"{title}\n(no latency samples recorded)"
     counters = {
         name: registry.counter(name).value
-        for name in ("serve.ok", "serve.degraded", "serve.failed")
+        for name in ("serve.ok", "serve.degraded", "serve.failed",
+                     "serve.partials")
         if registry.counter(name).value
     }
     table = format_table(
@@ -260,12 +285,15 @@ def render_report(
     ]
     if mm1_load is not None:
         sections.append(format_mm1_comparison(registry, load=mm1_load))
-    counts = {ATTEMPT: 0, SECTION: 0, SERVICE: 0, QUERY: 0}
+    counts = {ATTEMPT: 0, SECTION: 0, SERVICE: 0, QUERY: 0, PARTIAL: 0}
     for span in spans:
         counts[span.kind] = counts.get(span.kind, 0) + 1
-    sections.append(
+    summary = (
         f"{len(spans)} spans: {counts.get(QUERY, 0)} queries, "
         f"{counts.get(SERVICE, 0)} service calls, "
         f"{counts.get(ATTEMPT, 0)} attempts, {counts.get(SECTION, 0)} sections"
     )
+    if counts.get(PARTIAL, 0):
+        summary += f", {counts[PARTIAL]} partials"
+    sections.append(summary)
     return "\n\n".join(section for section in sections if section)

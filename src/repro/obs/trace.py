@@ -45,6 +45,7 @@ SERVICE = "service"  #: one service stage (ASR / classify / QA / IMM)
 ATTEMPT = "attempt"  #: one resilience retry attempt (or breaker rejection)
 SECTION = "section"  #: one profiler section (leaf component timing)
 KERNEL = "kernel"    #: one Sirius Suite kernel execution (``repro bench``)
+PARTIAL = "partial"  #: one streaming partial hypothesis (session ``partials()``)
 
 _ID_BYTES = 8  # 16 hex chars — OpenTelemetry span-id width
 
@@ -198,6 +199,32 @@ class Tracer:
             )
         )
         return tracer
+
+    @contextmanager
+    def reenter(self, span: Span) -> Iterator[Span]:
+        """Re-activate an externally managed *open* span on this thread.
+
+        A streaming session's service span stays open across many ``feed``
+        calls that may land on different pool threads; ``begin_span``/
+        ``end_span`` alone cannot express that (the open-span stack is
+        thread-local).  ``reenter`` pushes the span as this thread's
+        innermost frame for the duration of one synchronous work bout, so
+        profiler sections, partial spans, and ``annotate`` calls nest under
+        it; the caller closes the span itself (sets ``end``/``status`` and
+        hands it to :meth:`adopt`).  Sibling counters are shared tracer
+        state, so indices stay unique across bouts and threads.
+        """
+        stack = self._stack()
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            if not stack or stack[-1] is not span:
+                raise TraceError(
+                    f"reenter({span.name!r}) exited with unbalanced child "
+                    "spans still open on this thread"
+                )
+            stack.pop()
 
     # -- span lifecycle ----------------------------------------------------------
 

@@ -20,7 +20,13 @@ gives the reproduction that architecture explicitly:
   :class:`ResilientService` decorator;
 - :mod:`repro.serving.faults` — the deterministic, seeded fault-injection
   harness (:class:`FaultPlan` / :class:`FaultInjector`) behind the chaos
-  test suite and ``repro serve-bench --chaos``.
+  test suite and ``repro serve-bench --chaos``;
+- :mod:`repro.serving.sessions` — the streaming session protocol
+  (``feed`` / ``partials`` / ``finish`` / ``cancel``) every service
+  supports via ``open_session()``, with real incremental decoding for ASR;
+- :mod:`repro.serving.gateway` — the asyncio front door multiplexing many
+  concurrent slow-arriving voice sessions, with VAD endpointing firing
+  downstream stages and barge-in cancellation.  See ``docs/STREAMING.md``.
 
 :class:`~repro.core.pipeline.SiriusPipeline` is a thin facade over this
 layer.  See ``docs/SERVING.md`` for the architecture.
@@ -67,6 +73,19 @@ from repro.serving.faults import (
     default_chaos_plan,
     drain_virtual_seconds,
 )
+from repro.serving.sessions import (
+    AsrStreamingSession,
+    BufferingSession,
+    ServiceSession,
+    StageOutcome,
+)
+from repro.serving.gateway import (
+    GatewaySession,
+    StreamingGateway,
+    StreamReport,
+    chunk_waveform,
+    serve_streams,
+)
 from repro.serving.resilience import (
     BreakerPolicy,
     CallRecord,
@@ -82,6 +101,8 @@ from repro.serving.resilience import (
 __all__ = [
     "ASR",
     "AsrService",
+    "AsrStreamingSession",
+    "BufferingSession",
     "CLASSIFY",
     "IMM",
     "QA",
@@ -97,6 +118,7 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "GUARDS",
+    "GatewaySession",
     "ImmService",
     "PlanExecutor",
     "PlanStage",
@@ -110,12 +132,17 @@ __all__ = [
     "Service",
     "ServiceRequest",
     "ServiceResponse",
+    "ServiceSession",
     "ServiceStats",
+    "StageOutcome",
+    "StreamReport",
+    "StreamingGateway",
     "ThreadBackend",
     "VirtualLatencyAware",
     "available_backends",
     "build_executor",
     "charge_virtual_seconds",
+    "chunk_waveform",
     "compile_plan",
     "default_chaos_plan",
     "default_policies",
@@ -125,5 +152,6 @@ __all__ = [
     "get_backend",
     "register_backend",
     "resilient_executor",
+    "serve_streams",
     "wrap_services",
 ]

@@ -201,24 +201,41 @@ class PlanExecutor:
         parallel_branches: bool = False,
         ordinal: int = 0,
         on_error: str = RAISE,
+        precomputed: Optional[Dict[str, Any]] = None,
+        wall_start: Optional[float] = None,
     ) -> SiriusResponse:
         """Run one query through its plan and assemble the response.
 
         A degradable (QA/IMM) failure always yields a degraded response; a
         fatal (ASR/classify) failure re-raises under ``on_error="raise"``
         (the default) or returns a failed response under ``"degrade"``.
+
+        ``precomputed`` maps service names to :class:`~repro.serving.
+        sessions.StageOutcome` objects a streaming session already
+        produced: those stages are *consumed* (spans adopted, profile
+        merged, failures classified) instead of executed, and the rest of
+        the plan runs normally — how the gateway fires classify/QA/IMM off
+        a finished ASR session.  ``wall_start`` backdates the query's clock
+        (and its root span) to when the session opened, so ``wall_seconds``
+        and time-to-first-partial measure from first audio, not from
+        ``run()``.
         """
         _check_on_error(on_error)
         plan = plan if plan is not None else self.plan
         if plan is not self.plan:
             self._check_plan(plan)
+        precomputed = dict(precomputed) if precomputed else {}
         state = ExecutionState(
             query=query,
             profiler=profiler if profiler is not None else Profiler(),
-            wall_start=time.perf_counter(),
+            wall_start=wall_start if wall_start is not None else time.perf_counter(),
             ordinal=ordinal,
         )
         self._begin_trace(state)
+        if wall_start is not None and state.root_span is not None:
+            # The root span's measured window starts at session open; its
+            # identity is unaffected (IDs are position-derived, not timed).
+            state.root_span.start = wall_start
         ambient = (
             use_tracer(state.tracer) if state.tracer is not None else nullcontext()
         )
@@ -226,10 +243,16 @@ class PlanExecutor:
             with ambient:
                 for level in plan.levels():
                     runnable = [stage for stage in level if stage.guard()(state)]
-                    if parallel_branches and len(runnable) > 1:
-                        self._run_level_threaded(runnable, state)
+                    ready = [s for s in runnable if s.service in precomputed]
+                    live = [s for s in runnable if s.service not in precomputed]
+                    for stage in ready:
+                        self._consume_precomputed(
+                            stage, state, precomputed[stage.service]
+                        )
+                    if parallel_branches and len(live) > 1:
+                        self._run_level_threaded(live, state)
                     else:
-                        for stage in runnable:
+                        for stage in live:
                             self._run_stage(stage, state)
         except SiriusError as exc:
             if on_error == RAISE or state.fatal_error is None:
@@ -323,6 +346,28 @@ class PlanExecutor:
                 state.profiler.profile.total - before + virtual
             )
         self._absorb(stage, state, payload)
+
+    def _consume_precomputed(self, stage: PlanStage, state: ExecutionState, outcome) -> None:
+        """Absorb a session's :class:`~repro.serving.sessions.StageOutcome`.
+
+        Mirrors the threaded-branch absorption path: adopt the session's
+        spans, fold its virtual latency and profile into the query's
+        accounting, classify a captured failure exactly as a live one
+        (fatal services re-raise through :meth:`_record_failure`), and
+        credit ``service_seconds`` with the session's ``_run_stage``-rule
+        attribution.
+        """
+        service = self.services[stage.service]
+        if state.tracer is not None:
+            state.tracer.adopt(outcome.spans)
+        state.virtual_seconds += outcome.virtual_seconds
+        if outcome.error is not None:
+            self._record_failure(stage, state, outcome.error)
+            return
+        state.profiler.profile.merge(outcome.profile)
+        if stage.record:
+            state.service_seconds[service.label] = outcome.seconds
+        self._absorb(stage, state, outcome.payload)
 
     def _run_level_threaded(
         self, stages: Sequence[PlanStage], state: ExecutionState

@@ -99,6 +99,34 @@ class Service(abc.ABC):
     def warmup(self) -> None:
         """Materialize lazy state so the first real query pays no setup."""
 
+    def open_session(
+        self,
+        *,
+        query: Any = None,
+        ordinal: int = 0,
+        seed: Optional[int] = None,
+        record: bool = True,
+        endpoint_config: Any = None,
+    ):
+        """Open a streaming session for one query's stage (see
+        :mod:`repro.serving.sessions`).
+
+        The default is a :class:`~repro.serving.sessions.BufferingSession`:
+        chunks accumulate and ``finish()`` makes one ordinary ``invoke``
+        through *this* service — wrappers (resilience, fault injection)
+        inherit it, so their retry/fault behaviour under a session is
+        byte-identical to the batch path.  Services with a genuinely
+        incremental implementation override this (see
+        :meth:`AsrService.open_session`).
+        """
+        # Imported lazily: sessions sits above the service layer.
+        from repro.serving.sessions import BufferingSession
+
+        return BufferingSession(
+            self, query=query, ordinal=ordinal, seed=seed,
+            record=record, endpoint_config=endpoint_config,
+        )
+
     def __call__(
         self, request: ServiceRequest, profiler: Optional[Profiler] = None
     ) -> ServiceResponse:
@@ -186,6 +214,28 @@ class AsrService(Service):
 
     def invoke(self, request: ServiceRequest, profiler: Profiler):
         return self.decoder.decode_waveform(request.payload, profiler=profiler)
+
+    def open_session(
+        self,
+        *,
+        query: Any = None,
+        ordinal: int = 0,
+        seed: Optional[int] = None,
+        record: bool = True,
+        endpoint_config: Any = None,
+    ):
+        """Incremental recognition with VAD endpointing and partials.
+
+        Only the *bare* ASR service streams incrementally; once wrapped in
+        resilience/fault layers the inherited buffering session applies
+        (retries need the whole utterance to replay an attempt).
+        """
+        from repro.serving.sessions import AsrStreamingSession
+
+        return AsrStreamingSession(
+            self, self.decoder, query=query, ordinal=ordinal, seed=seed,
+            record=record, endpoint_config=endpoint_config,
+        )
 
 
 class ClassifierService(Service):

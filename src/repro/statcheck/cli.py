@@ -9,7 +9,7 @@ Exit codes (enforced by :func:`repro.cli.main`):
   ``code`` attribute propagates to the top-level CLI handler.
 
 The syntactic pass (SC1xx-SC4xx) always runs.  The whole-program semantic
-pass (SC5xx-SC7xx) is opt-in via ``--semantic`` — or implied by selecting a
+pass (SC5xx-SC8xx) is opt-in via ``--semantic`` — or implied by selecting a
 semantic code explicitly or asking for ``--call-graph`` — because it parses
 the entire tree into one project model before any rule fires.
 """
@@ -51,7 +51,7 @@ def list_rules_text() -> str:
         "(emitted by the framework)"
     )
     lines.append(
-        "SC5xx-SC7xx are whole-program rules: run them with --semantic "
+        "SC5xx-SC8xx are whole-program rules: run them with --semantic "
         "(or select them explicitly)."
     )
     return "\n".join(lines)
@@ -63,7 +63,7 @@ def explain_rule_text(code: str) -> str:
     for cls in full_catalogue():
         if cls.code == normalized:
             rule = cls()
-            semantic = rule.code[2] in "567"
+            semantic = rule.code[2] in "5678"
             return "\n".join(
                 [
                     f"{rule.code} {rule.name} [{rule.severity.label}]"
@@ -223,7 +223,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--semantic",
         action="store_true",
-        help="also run the whole-program semantic rules (SC5xx-SC7xx)",
+        help="also run the whole-program semantic rules (SC5xx-SC8xx)",
     )
     parser.add_argument(
         "--call-graph",

@@ -1,4 +1,4 @@
-"""Whole-program semantic analysis for statcheck (SC5xx-SC7xx).
+"""Whole-program semantic analysis for statcheck (SC5xx-SC8xx).
 
 The syntactic rule catalogue (SC1xx-SC4xx) judges one file at a time; the
 invariants PRs 2-5 introduced — byte-identical chaos replays, pickle-clean
@@ -14,7 +14,7 @@ interprocedural rule families on top of it:
   root-to-sink reachability used by the SC5xx family
 - :mod:`repro.statcheck.semantic.rules` — the semantic rule catalogue:
   SC5xx determinism taint, SC6xx process-boundary escape analysis,
-  SC7xx shared-state concurrency hazards
+  SC7xx shared-state concurrency hazards, SC801 async hygiene
 
 Entry point: :func:`analyze_semantic` (used by ``repro lint --semantic``).
 """

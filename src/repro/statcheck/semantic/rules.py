@@ -1,4 +1,4 @@
-"""The semantic rule catalogue: SC5xx / SC6xx / SC7xx.
+"""The semantic rule catalogue: SC5xx / SC6xx / SC7xx / SC8xx.
 
 Unlike the syntactic rules (which see one AST at a time through
 ``visit_<NodeType>`` dispatch), a :class:`SemanticRule` sees the whole
@@ -22,6 +22,11 @@ Families:
   write uninitialized instance attributes on their hot path (executors
   share one instance across thread workers), or thread-reachable code
   mutates module-level state without a lock.
+- **SC801 async hygiene** — a blocking call (``time.sleep``, blocking
+  file/socket/subprocess I/O, ``Future.result()`` without a timeout) is
+  transitively reachable from an ``async def``; one such call parks the
+  event loop and every in-flight session behind it.  The finding carries
+  the async-root-to-sink witness chain.
 """
 
 from __future__ import annotations
@@ -757,6 +762,131 @@ class ThreadSharedModuleState(SemanticRule):
 
 
 # ---------------------------------------------------------------------------
+# SC8xx — async hygiene
+# ---------------------------------------------------------------------------
+
+#: Dotted callee names that block the calling thread outright.
+_BLOCKING_CALL_NAMES = {
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.getoutput",
+    "urllib.request.urlopen",
+    "socket.create_connection",
+    "requests.get",
+    "requests.post",
+    "requests.put",
+    "requests.delete",
+    "requests.head",
+    "requests.request",
+}
+#: Socket methods that park the thread until the peer acts; only flagged
+#: when the receiver's identifiers look socket-ish (``sock``/``conn``).
+_BLOCKING_SOCKET_METHODS = {"recv", "recvfrom", "recv_into", "accept", "sendall"}
+
+
+def _blocking_sink(
+    model: ProjectModel, module: str, node: ast.Call
+) -> Optional[str]:
+    """Human label when this call blocks the thread it runs on."""
+    callee = normalized_call(node.func)
+    if callee in _BLOCKING_CALL_NAMES:
+        return f"{callee}()"
+    resolved = model.resolve(module, callee)
+    if resolved is None and "." not in callee:
+        # ``from time import sleep`` style bare names: resolve() only covers
+        # project files, so chase the import binding by hand.
+        info = model.modules.get(module)
+        target = info.imports.get(callee) if info is not None else None
+        if target in _BLOCKING_CALL_NAMES:
+            return f"{target}()"
+    if callee == "open":
+        return "open() file I/O"
+    tail = callee.rsplit(".", 1)[-1]
+    if (
+        tail == "result"
+        and isinstance(node.func, ast.Attribute)
+        and not node.args
+        and not any(kw.arg == "timeout" for kw in node.keywords)
+    ):
+        return "Future.result() with no timeout"
+    if (
+        tail in _BLOCKING_SOCKET_METHODS
+        and isinstance(node.func, ast.Attribute)
+        and any(
+            "sock" in ident or "conn" in ident
+            for ident in identifiers(node.func.value)
+        )
+    ):
+        return f"socket .{tail}()"
+    return None
+
+
+class AsyncBlockingCall(SemanticRule):
+    """SC801: a blocking call is reachable from an ``async def``."""
+
+    code = "SC801"
+    name = "async-blocking-call"
+    severity = Severity.WARNING
+    summary = (
+        "time.sleep, blocking file/socket/subprocess I/O, or "
+        "Future.result() without a timeout is reachable from an async def"
+    )
+    rationale = (
+        "The streaming gateway multiplexes every in-flight session over "
+        "one event loop; a single blocking call anywhere in the awaited "
+        "call graph stalls all of them for its full duration.  Await the "
+        "async equivalent (asyncio.sleep, loop.sock_recv), dispatch the "
+        "blocking work through run_in_executor (handing the callable over "
+        "by reference is fine — only *calls* create reachability), or "
+        "bound Future.result() with a timeout.  The finding message "
+        "carries the async-root-to-sink witness chain."
+    )
+
+    def check(self, model, graph):
+        roots = [
+            qname
+            for qname, fn in sorted(model.functions.items())
+            if isinstance(fn.node, ast.AsyncFunctionDef)
+        ]
+        if not roots:
+            return
+        parents = graph.reachable_from(roots)
+        for qname in sorted(parents):
+            fn = model.functions.get(qname)
+            if fn is None:
+                continue
+            chain = graph.witness_path(parents, qname)
+            root = chain[0].caller if chain else qname
+            witness_parts = [root]
+            for edge in chain:
+                edge_module = model.functions[edge.caller].module
+                path = model.modules[edge_module].path
+                witness_parts.append(
+                    f"{edge.callee} (called at {path}:{edge.line})"
+                )
+            witness = " -> ".join(witness_parts)
+            for node in scope_walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                what = _blocking_sink(model, fn.module, node)
+                if what is None:
+                    continue
+                yield self.finding(
+                    model,
+                    fn.module,
+                    getattr(node, "lineno", fn.lineno),
+                    getattr(node, "col_offset", 0) + 1,
+                    f"blocking {what} in {qname} is reachable from async "
+                    f"def {root}; it parks the event loop for its full "
+                    "duration — await an async equivalent or dispatch via "
+                    f"run_in_executor; witness: {witness}",
+                )
+
+
+# ---------------------------------------------------------------------------
 # Registry and entry point
 # ---------------------------------------------------------------------------
 
@@ -767,6 +897,7 @@ SEMANTIC_RULE_CLASSES: Tuple[Type[SemanticRule], ...] = (
     UnpicklableEnvelopeField,
     ServiceSharedStateWrite,
     ThreadSharedModuleState,
+    AsyncBlockingCall,
 )
 
 SEMANTIC_RULE_CODES: Tuple[str, ...] = tuple(

@@ -1,0 +1,1 @@
+"""Async-hygiene fixture package for the SC801 rule."""

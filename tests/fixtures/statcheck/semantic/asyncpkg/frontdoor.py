@@ -1,0 +1,83 @@
+"""Async front-door call sites for the SC801 fixture.
+
+True positives block the event loop (directly or through a sync helper
+the call graph reaches); near-misses use the async equivalents, bound the
+wait, or hand the blocking callable to ``run_in_executor`` by reference.
+"""
+
+import asyncio
+import subprocess
+import time
+
+
+def blocking_backoff(attempt):
+    """Holds the sink; flagged only via reachability from an async def."""
+    time.sleep(attempt * 0.1)
+    return attempt
+
+
+def read_config(path):
+    """Blocking file I/O helper, reached from ``load_settings``."""
+    with open(path) as handle:
+        return handle.read()
+
+
+def fetch_blob(path):
+    """Near-miss holder: only ever handed to run_in_executor by reference."""
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def sync_retry(attempt):
+    """Near-miss: blocking is fine off the event loop (never awaited)."""
+    time.sleep(attempt)
+    return attempt
+
+
+async def handle_request(attempt):
+    """SC801 true positive: reaches time.sleep through blocking_backoff."""
+    return blocking_backoff(attempt)
+
+
+async def load_settings(path):
+    """SC801 true positive: blocking open() one hop down."""
+    return read_config(path)
+
+
+async def direct_sleep():
+    """SC801 true positive: time.sleep right on the event loop."""
+    time.sleep(0.5)
+    return True
+
+
+async def shell_out(command):
+    """SC801 true positive: waits for the child process synchronously."""
+    return subprocess.run(command)
+
+
+async def wait_for_result(future):
+    """SC801 true positive: Future.result() with no timeout parks the loop."""
+    return future.result()
+
+
+async def proxy_bytes(sock):
+    """SC801 true positive: socket recv blocks until the peer sends."""
+    return sock.recv(1024)
+
+
+async def polite_sleep():
+    """Near-miss: asyncio.sleep yields the loop to other sessions."""
+    await asyncio.sleep(0.5)
+    return True
+
+
+async def bounded_wait(future):
+    """Near-miss: a timeout bounds the stall."""
+    return future.result(timeout=0.1)
+
+
+async def offloaded(path):
+    """Near-miss: the blocking helper runs on the executor pool; it is
+    passed by reference, so no call edge makes it async-reachable."""
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, fetch_blob, path)

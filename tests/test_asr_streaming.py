@@ -12,6 +12,7 @@ from repro.asr import (
     collect_training_data,
     train_gmm_acoustic_model,
 )
+from repro.asr.audio import Waveform
 from repro.asr.streaming import StreamingDecoder, StreamingFeatureExtractor
 from repro.errors import DecodingError
 
@@ -57,6 +58,29 @@ class TestStreamingFeatures:
         streaming = StreamingFeatureExtractor(FeatureExtractor().config)
         assert streaming.push(np.zeros(0)).shape[0] == 0
         assert streaming.flush().shape[0] >= 0
+
+    def test_sub_frame_utterance_flush_pads(self):
+        """Regression: a whole utterance shorter than one analysis frame
+        must still produce the same (padded) frames the offline extractor
+        computes, not crash or emit nothing."""
+        extractor = FeatureExtractor()
+        frame_size = int(extractor.config.frame_length * 16000)
+        wave = Synthesizer(seed=79).synthesize("set")
+        short = Waveform(wave.samples[: frame_size // 2], wave.sample_rate)
+        offline = extractor.extract(short)
+        streaming = StreamingFeatureExtractor(extractor.config)
+        rows = [streaming.push(short.samples), streaming.flush()]
+        online = np.vstack([r for r in rows if r.shape[0]])
+        assert online.shape == offline.shape
+        assert np.allclose(offline, online, atol=1e-10)
+
+    def test_sub_hop_chunks_match_offline(self):
+        """Regression: chunks smaller than the frame hop (here 40 samples
+        against a 160-sample hop) must carry state across pushes exactly."""
+        wave = Synthesizer(seed=80).synthesize("set")
+        offline, online = self._compare(wave, 40)
+        assert offline.shape == online.shape
+        assert np.allclose(offline, online, atol=1e-10)
 
     def test_lookahead_delays_emission(self):
         streaming = StreamingFeatureExtractor(FeatureExtractor().config)
@@ -115,3 +139,37 @@ class TestStreamingDecoder:
         first = streaming.finish()
         second = streaming.finish()
         assert first.text == second.text
+
+    def test_zero_length_feed_is_a_noop(self, decoder):
+        wave = Synthesizer(seed=81).synthesize("set my alarm")
+        streaming = StreamingDecoder(decoder)
+        streaming.feed(np.zeros(0))
+        streaming.feed(wave.samples)
+        streaming.feed(np.zeros(0))
+        assert streaming.finish().text == "set my alarm"
+
+
+class TestRechunkingInvariance:
+    """Hypothesis: however the utterance is cut into chunks, the final
+    transcript is identical and the emitted-partial count is monotone."""
+
+    @settings(deadline=None, max_examples=6)
+    @given(data=st.data())
+    def test_final_transcript_and_partial_monotonicity(self, decoder, data):
+        wave = Synthesizer(seed=78).synthesize("what is the capital of italy")
+        n = len(wave.samples)
+        cuts = sorted(
+            data.draw(st.sets(st.integers(1, n - 1), max_size=6), label="cuts")
+        )
+        bounds = [0, *cuts, n]
+        streaming = StreamingDecoder(decoder)
+        emitted = []
+        counts = []
+        for start, stop in zip(bounds, bounds[1:]):
+            streaming.feed(wave.samples[start:stop])
+            partial = streaming.partial()
+            if partial and (not emitted or partial != emitted[-1]):
+                emitted.append(partial)
+            counts.append(len(emitted))
+        assert counts == sorted(counts)
+        assert streaming.finish().text == decoder.decode_waveform(wave).text

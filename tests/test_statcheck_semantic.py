@@ -42,6 +42,7 @@ GOLDEN_DIR = REPO_ROOT / "tests" / "fixtures" / "statcheck" / "golden"
 DETPKG = str(SEMANTIC_FIXTURES / "detpkg")
 PROCPKG = str(SEMANTIC_FIXTURES / "procpkg")
 SVCPKG = str(SEMANTIC_FIXTURES / "svcpkg")
+ASYNCPKG = str(SEMANTIC_FIXTURES / "asyncpkg")
 
 
 def codes_by_function(report):
@@ -256,6 +257,73 @@ class TestSharedStateHazards:
 
 
 # ---------------------------------------------------------------------------
+# SC801 async hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestAsyncBlockingCall:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze_semantic([ASYNCPKG])
+
+    def test_true_positives_fire(self, report):
+        blob = "\n".join(f.message for f in fired(report, "SC801"))
+        assert "time.sleep() in asyncpkg.frontdoor.blocking_backoff" in blob
+        assert "open() file I/O in asyncpkg.frontdoor.read_config" in blob
+        assert "time.sleep() in asyncpkg.frontdoor.direct_sleep" in blob
+        assert "subprocess.run() in asyncpkg.frontdoor.shell_out" in blob
+        assert "Future.result() with no timeout" in blob
+        assert "socket .recv() in asyncpkg.frontdoor.proxy_bytes" in blob
+
+    def test_witness_chain_names_the_async_root(self, report):
+        backoff = next(
+            f for f in fired(report, "SC801")
+            if "blocking_backoff" in f.message
+        )
+        assert "async def asyncpkg.frontdoor.handle_request" in backoff.message
+        assert "-> asyncpkg.frontdoor.blocking_backoff" in backoff.message
+        assert "(called at" in backoff.message
+
+    def test_near_misses_stay_clean(self, report):
+        blob = "\n".join(f.message for f in fired(report, "SC801"))
+        assert "polite_sleep" not in blob       # asyncio.sleep awaits
+        assert "bounded_wait" not in blob       # result(timeout=...) is bounded
+        assert "sync_retry" not in blob         # never reachable from async
+        assert "fetch_blob" not in blob         # run_in_executor by reference
+        assert "offloaded" not in blob
+
+    def test_bare_from_import_sleep_is_resolved(self, tmp_path):
+        pkg = tmp_path / "barepkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text(
+            "from time import sleep\n"
+            "\n"
+            "\n"
+            "async def nap():\n"
+            "    sleep(1)\n"
+        )
+        report = analyze_semantic([str(pkg)])
+        sc801 = fired(report, "SC801")
+        assert len(sc801) == 1
+        assert "time.sleep()" in sc801[0].message
+
+    def test_sync_only_project_has_no_findings(self, tmp_path):
+        pkg = tmp_path / "syncpkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "def pause():\n"
+            "    time.sleep(1)\n"
+        )
+        report = analyze_semantic([str(pkg)])
+        assert fired(report, "SC801") == []
+
+
+# ---------------------------------------------------------------------------
 # Rule selection and catalogue
 # ---------------------------------------------------------------------------
 
@@ -263,7 +331,7 @@ class TestSharedStateHazards:
 class TestSelection:
     def test_semantic_codes_are_in_the_catalogue(self):
         assert set(SEMANTIC_RULE_CODES) == {
-            "SC501", "SC601", "SC602", "SC603", "SC701", "SC702",
+            "SC501", "SC601", "SC602", "SC603", "SC701", "SC702", "SC801",
         }
         validate_codes(SEMANTIC_RULE_CODES)  # must not raise
 
