@@ -9,6 +9,7 @@ Subcommands::
     repro serve-bench --trace spans.jsonl --chrome-trace trace.json --metrics
     repro serve-bench --chaos 42 [--queries 16] [--trace spans.jsonl]
     repro serve-bench --streaming [--queries 16] [--chunk-ms 100] [--trace spans.jsonl]
+    repro cluster-bench [--smoke] [--replicas 3] [--shards 2] [--policy power-of-two]
     repro trace-report spans.jsonl [--limit 3] [--chrome trace.json] [--mm1 0.7]
     repro trace-report spans.jsonl --critical-path [--tail-quantile 0.99] --roofline
     repro bench [run] [--quick] [--json] [--tag pr5] [--filter suite.]
@@ -385,6 +386,170 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    """``repro cluster-bench``: the fleet layer, live and at model scale.
+
+    Two halves, both determinism-checked:
+
+    1. **Live fleet** — a few real queries through sharded replica
+       executors behind the router, run *twice* (and across backends) to
+       verify outcome and timing-stripped-span byte-identity, with the
+       router visible as its own critical-path stage.
+    2. **Model replay** — an open-loop seeded arrival stream (50 k queries
+       in ``--smoke``) against the virtual-time fleet, compared against
+       the analytic M/M/1 tail and the measured-histogram simulator at
+       matched utilization, then extrapolated to a million-query hour.
+
+    Exits 2 if any determinism check fails.
+    """
+    from repro.analysis import format_table
+    from repro.core import InputSet, SiriusPipeline
+    from repro.datacenter.arrivals import make_process
+    from repro.datacenter.simulation import (
+        exponential_sampler,
+        histogram_sampler,
+        mm1_percentile,
+        simulate_from_histogram,
+    )
+    from repro.obs import (
+        MetricsRegistry,
+        collect_spans,
+        format_critical_path_report,
+        to_jsonl,
+    )
+    from repro.obs.metrics import E2E_HISTOGRAM
+    from repro.serving.cluster import (
+        AdmissionControl,
+        build_cluster,
+        extrapolate_fleet,
+        replay_cluster,
+    )
+
+    if args.smoke:
+        args.queries = min(args.queries, 50_000)
+        args.live = min(args.live, 6)
+
+    pipeline = SiriusPipeline.build()
+    inputs = InputSet.build()
+    live_queries = [
+        inputs.all_queries[i % len(inputs.all_queries)] for i in range(args.live)
+    ]
+
+    # -- live fleet ---------------------------------------------------------
+    metrics = MetricsRegistry()
+    admission = (
+        AdmissionControl(drop_rate=args.drop_rate, seed=args.seed)
+        if args.drop_rate > 0
+        else None
+    )
+    cluster = build_cluster(
+        pipeline,
+        n_replicas=args.replicas,
+        n_shards=args.shards,
+        policy=args.policy,
+        seed=args.seed,
+        admission=admission,
+        metrics=metrics,
+        trace_seed=args.seed,
+    )
+    cluster.warmup()
+    first = cluster.run_all(live_queries, backend=args.backend)
+    second = cluster.run_all(live_queries, backend=args.backend)
+    outcomes_ok = _chaos_fingerprint(first) == _chaos_fingerprint(second)
+    spans = collect_spans(first)
+    spans_ok = to_jsonl(spans, timing=False) == to_jsonl(
+        collect_spans(second), timing=False
+    )
+
+    n = len(first)
+    n_failed = sum(1 for r in first if r.failed)
+    n_degraded = sum(1 for r in first if r.degraded and not r.failed)
+    depth = metrics.histogram("serve.router.queue_depth")
+    rows = [
+        ["queries", str(n)],
+        ["replicas x shards", f"{cluster.n_replicas} x {args.shards}"],
+        ["policy", cluster.policy.name],
+        ["ok / degraded / failed",
+         f"{n - n_degraded - n_failed} / {n_degraded} / {n_failed}"],
+        ["rejected (admission)",
+         str(metrics.counter("serve.router.rejected").value)],
+        ["mean queue depth seen", f"{depth.mean:.2f}"],
+    ]
+    print(format_table(
+        f"Live fleet (seed={args.seed}, backend={args.backend})",
+        ["Metric", "Value"], rows,
+    ))
+    print(f"outcome replay determinism: {'ok' if outcomes_ok else 'FAILED'}")
+    print(f"span replay determinism:    {'ok' if spans_ok else 'FAILED'}")
+    print()
+    print(format_critical_path_report(spans))
+
+    # -- model replay vs analytic M/M/1 ------------------------------------
+    e2e = metrics.histogram(E2E_HISTOGRAM).snapshot()
+    mean_service = max(e2e.mean, 1e-6)
+    load = args.load
+    rate = load / mean_service  # one-replica parameterization
+    process = make_process(args.arrivals, rate)
+
+    analytic_p99 = mm1_percentile(mean_service, load, 99.0)
+    exp_replay = replay_cluster(
+        process,
+        exponential_sampler(mean_service, seed=args.seed + 1),
+        args.queries,
+        policy="round-robin",
+        n_replicas=1,
+        seed=args.seed,
+    )
+    digest_ok = exp_replay.digest() == replay_cluster(
+        process,
+        exponential_sampler(mean_service, seed=args.seed + 1),
+        args.queries,
+        policy="round-robin",
+        n_replicas=1,
+        seed=args.seed,
+    ).digest()
+    measured_replay = replay_cluster(
+        process,
+        histogram_sampler(e2e, seed=args.seed + 2),
+        args.queries,
+        policy=args.policy,
+        n_replicas=1,
+        seed=args.seed,
+    )
+    histogram_sim = simulate_from_histogram(
+        e2e, load, n_queries=min(args.queries, 20_000), seed=args.seed
+    )
+
+    rows = [
+        ["mean service (measured, ms)", f"{mean_service * 1000:.1f}"],
+        ["target utilization", f"{load:.2f}"],
+        ["analytic M/M/1 p99 (ms)", f"{analytic_p99 * 1000:.1f}"],
+        [f"replay p99, exponential service ({args.queries} q, ms)",
+         f"{exp_replay.p99_response * 1000:.1f}"],
+        ["replay vs M/M/1 relative error", f"{exp_replay.mm1_error():.3f}"],
+        ["replay p99, measured histogram (ms)",
+         f"{measured_replay.p99_response * 1000:.1f}"],
+        ["histogram simulator p99 (ms)",
+         f"{histogram_sim.p99_response_time * 1000:.1f}"],
+        ["replay utilization", f"{exp_replay.utilization:.3f}"],
+    ]
+    print()
+    print(format_table(
+        f"Model replay ({args.arrivals} arrivals, seed={args.seed})",
+        ["Metric", "Value"], rows,
+    ))
+    print(f"replay digest determinism:  {'ok' if digest_ok else 'FAILED'}")
+
+    estimate = extrapolate_fleet(measured_replay, target_queries=1_000_000)
+    print(
+        f"extrapolated fleet: {estimate.n_replicas} replicas serve "
+        f"{estimate.target_queries:,} queries/hour "
+        f"({estimate.target_rate:.0f} q/s) at per-replica load {load:.2f}, "
+        f"projected p99 {estimate.projected_p99 * 1000:.0f} ms"
+    )
+    return 0 if (outcomes_ok and spans_ok and digest_ok) else 2
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     from repro.errors import ObsError
     from repro.obs import read_jsonl, render_report, write_chrome_trace
@@ -584,6 +749,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-service latency histograms (count/mean/p50/p95/p99)",
     )
     serve.set_defaults(func=_cmd_serve_bench)
+
+    cluster = sub.add_parser(
+        "cluster-bench",
+        help="cluster serving: routed sharded replicas live, plus the "
+             "virtual-time traffic replay vs the M/M/1 model",
+    )
+    cluster.add_argument("--queries", type=int, default=50_000,
+                         help="replay arrival count (default 50000)")
+    cluster.add_argument("--live", type=int, default=12,
+                         help="real queries through the live fleet")
+    cluster.add_argument("--replicas", type=int, default=3)
+    cluster.add_argument("--shards", type=int, default=2)
+    cluster.add_argument(
+        "--policy", default="power-of-two",
+        choices=("round-robin", "least-loaded", "power-of-two"),
+    )
+    cluster.add_argument(
+        "--arrivals", default="poisson",
+        choices=("poisson", "diurnal", "bursty"),
+    )
+    cluster.add_argument("--load", type=float, default=0.7,
+                         help="target single-replica utilization (0, 1)")
+    cluster.add_argument("--drop-rate", type=float, default=0.0,
+                         help="seeded admission drop fraction for the live run")
+    cluster.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default="serial"
+    )
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument(
+        "--smoke", action="store_true",
+        help="CI shape: <= 6 live queries, <= 50k replay arrivals",
+    )
+    cluster.set_defaults(func=_cmd_cluster_bench)
 
     trace_report = sub.add_parser(
         "trace-report",

@@ -75,8 +75,11 @@ class SiriusResponse:
     @property
     def failed(self) -> bool:
         """True when no usable answer exists: a *fatal* service (ASR or the
-        classifier) failed, as opposed to a degradable QA/IMM branch."""
-        return any(label in self.failures for label in ("ASR", "CLASSIFY"))
+        classifier) failed — or the cluster router rejected the query at
+        admission — as opposed to a degradable QA/IMM branch."""
+        return any(
+            label in self.failures for label in ("ASR", "CLASSIFY", "ROUTER")
+        )
 
     @property
     def latency(self) -> float:

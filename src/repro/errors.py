@@ -130,6 +130,19 @@ class InjectedFaultError(ServiceError):
             self.code = code
 
 
+class AdmissionError(ServiceError):
+    """A query was rejected at the cluster router by admission control.
+
+    Raised (or recorded as a failed response) by
+    :class:`repro.serving.cluster.fleet.Cluster` when the seeded admission
+    policy sheds load — a full replica queue or a deterministic drop coin.
+    Never retried: admission control exists to protect the fleet's tail,
+    so the caller must surface the rejection immediately.
+    """
+
+    code = "ADMISSION"
+
+
 class SessionError(ServiceError):
     """A streaming service session was used outside its lifecycle contract.
 

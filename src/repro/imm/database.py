@@ -155,6 +155,43 @@ class ImageDatabase:
             inliers=best_inliers,
         )
 
+    def top_matches(
+        self,
+        query: Image,
+        k: int = 3,
+        profiler: Optional[Profiler] = None,
+    ) -> List[MatchResult]:
+        """The ``k`` database images with the most descriptor votes.
+
+        Deterministic ranking — by descending votes, then image name — so
+        shard scatter/gather merges (:mod:`repro.serving.cluster.sharding`)
+        are replay-stable however the per-shard candidate lists interleave.
+        Returns an empty list when no descriptor matched (unlike
+        :meth:`match`, which returns an unmatched sentinel result).
+        """
+        if k < 1:
+            raise ImageError("top_matches needs k >= 1")
+        profiler = profiler if profiler is not None else Profiler()
+        features = self.surf.extract(query, profiler=profiler)
+        with profiler.section("imm.ann"):
+            matcher = self._ensure_matcher()
+            matches = matcher.match(features.descriptors)
+            votes: Counter = Counter()
+            for match in matches:
+                votes[self._owner_of_row[match.database_index]] += 1
+        ranked = sorted(
+            votes.items(), key=lambda item: (-item[1], self._names[item[0]])
+        )
+        return [
+            MatchResult(
+                image_name=self._names[image_id],
+                votes=image_votes,
+                total_matches=len(matches),
+                n_query_keypoints=len(features),
+            )
+            for image_id, image_votes in ranked[:k]
+        ]
+
     @property
     def n_images(self) -> int:
         return len(self._names)

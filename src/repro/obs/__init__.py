@@ -64,6 +64,10 @@ from repro.obs.export import (
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     E2E_HISTOGRAM,
+    QUEUE_DEPTH_HISTOGRAM,
+    ROUTER_REJECTED_COUNTER,
+    ROUTER_WAIT_HISTOGRAM,
+    SHARD_FANOUT_HISTOGRAM,
     TTFP_HISTOGRAM,
     Counter,
     Histogram,
@@ -92,6 +96,7 @@ from repro.obs.trace import (
     KERNEL,
     PARTIAL,
     QUERY,
+    ROUTER,
     SECTION,
     SERVICE,
     Span,
@@ -115,8 +120,13 @@ __all__ = [
     "MetricsSnapshot",
     "PARTIAL",
     "QUERY",
+    "QUEUE_DEPTH_HISTOGRAM",
+    "ROUTER",
+    "ROUTER_REJECTED_COUNTER",
+    "ROUTER_WAIT_HISTOGRAM",
     "SECTION",
     "SERVICE",
+    "SHARD_FANOUT_HISTOGRAM",
     "Span",
     "TTFP_HISTOGRAM",
     "TraceAnalysis",

@@ -415,6 +415,115 @@ class ServeStreamingBenchmark(_ServeBenchmark):
         ) == to_jsonl(collect_spans([replay]), timing=False)
 
 
+class ServeClusterBenchmark(_ServeBenchmark):
+    """Routed sharded fleet, live and in model replay: cluster determinism.
+
+    The live half serves the query mix through sharded replica executors
+    behind the power-of-two router with seeded admission; gated metrics
+    are the timing-stripped span-forest fingerprint (router spans
+    included), the outcome and placement-table fingerprints, and the
+    conservation counts.  The model half replays a pinned Poisson stream
+    against the virtual-time fleet with an autoscaler and gates the full
+    outcome-stream digest — every routing, admission, service-draw, and
+    scaling decision, byte-exact.
+    """
+
+    name = "serve.cluster"
+    description = "sharded replicas behind the router, live + model replay (seed 7)"
+    seed = 7
+    metric_specs = {
+        "forest_fingerprint": EXACT,
+        "outcome_fingerprint": EXACT,
+        "routes_fingerprint": EXACT,
+        "replay_digest": EXACT,
+        "spans": EXACT,
+        "router_spans": EXACT,
+        "rejected": EXACT,
+        "ok": EXACT,
+        "degraded": EXACT,
+        "failed": EXACT,
+        "replay_rejected": EXACT,
+        "replay_scaleups": EXACT,
+    }
+
+    def prepare(self, quick: bool) -> Any:
+        from repro.serving.cluster import AdmissionControl, build_cluster
+
+        pipeline, queries = self._pipeline_and_queries(quick)
+        key = f"cluster-{'quick' if quick else 'full'}"
+        if key not in self._shared:
+            cluster = build_cluster(
+                pipeline,
+                n_replicas=3,
+                n_shards=2,
+                policy="power-of-two",
+                seed=self.seed,
+                admission=AdmissionControl(drop_rate=0.2, seed=self.seed),
+                trace_seed=self.seed,
+            )
+            cluster.warmup()
+            self._shared[key] = cluster
+        return self._shared[key], queries
+
+    def run(self, state: Any, quick: bool) -> Dict[str, float]:
+        from repro.datacenter.arrivals import PoissonProcess
+        from repro.datacenter.simulation import exponential_sampler
+        from repro.obs.export import to_jsonl
+        from repro.obs.trace import ROUTER
+        from repro.serving.cluster import (
+            AdmissionControl,
+            AutoscalerPolicy,
+            replay_cluster,
+        )
+        from repro.serving.cluster.autoscaler import SCALE_UP
+
+        cluster, queries = state
+        responses = cluster.run_all(queries)
+        routes = cluster.plan_routes(len(queries))
+        spans = collect_spans(responses)
+        failed = sum(1 for r in responses if r.failed)
+        degraded = sum(1 for r in responses if r.degraded and not r.failed)
+        outcomes = "\n".join(
+            f"{r.query_type.value}:{r.transcript}:{r.answer}:{r.matched_image}"
+            f":{int(r.degraded)}:{sorted(r.failures.items())}"
+            for r in responses
+        )
+
+        # Model replay under pinned parameters — nothing measured feeds it,
+        # so the full decision stream is gateable byte-exact.
+        mean_service = 0.01
+        replay = replay_cluster(
+            PoissonProcess(rate=0.8 / mean_service * 2),
+            exponential_sampler(mean_service, seed=self.seed + 1),
+            2_000 if quick else 10_000,
+            policy="power-of-two",
+            n_replicas=2,
+            seed=self.seed,
+            admission=AdmissionControl(max_depth=40, seed=self.seed),
+            autoscaler=AutoscalerPolicy(slo_p99=0.05, max_replicas=6),
+            tick_seconds=2.0,
+        )
+        return {
+            "forest_fingerprint": fingerprint(to_jsonl(spans, timing=False)),
+            "outcome_fingerprint": fingerprint(outcomes),
+            "routes_fingerprint": fingerprint(
+                "\n".join(repr(route.key()) for route in routes)
+            ),
+            "replay_digest": fingerprint(replay.digest()),
+            "spans": len(spans),
+            "router_spans": sum(1 for s in spans if s.kind == ROUTER),
+            "rejected": sum(1 for r in responses if "ROUTER" in r.failures),
+            "ok": len(responses) - failed - degraded,
+            "degraded": degraded,
+            "failed": failed,
+            "replay_rejected": replay.n_rejected,
+            "replay_scaleups": sum(
+                1 for d in replay.decisions if d.action == SCALE_UP
+            ),
+            "replay_p99_ms": replay.p99_response * 1000,
+        }
+
+
 def _populate() -> None:
     if _REGISTRY:
         return
@@ -423,6 +532,7 @@ def _populate() -> None:
     register(ServeChaosBenchmark())
     register(ServePlainBenchmark())
     register(ServeStreamingBenchmark())
+    register(ServeClusterBenchmark())
 
 
 # -- running ------------------------------------------------------------------------

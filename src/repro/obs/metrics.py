@@ -318,6 +318,20 @@ E2E_HISTOGRAM = "serve.e2e.seconds"
 #: latency (the user hears *something* long before the answer is ready).
 TTFP_HISTOGRAM = "serve.ttfp.seconds"
 
+#: Measured router queueing delay (assignment → replica dispatch) — the "AI
+#: tax" of cluster serving, kept separate from every service's own wait.
+ROUTER_WAIT_HISTOGRAM = "serve.router.wait_seconds"
+
+#: Replica queue depth observed by the router at each assignment (the load
+#: signal its balancing policies act on).
+QUEUE_DEPTH_HISTOGRAM = "serve.router.queue_depth"
+
+#: Shards fanned out to per sharded-service call (scatter width).
+SHARD_FANOUT_HISTOGRAM = "serve.shard.fanout"
+
+#: Queries rejected by admission control at the router.
+ROUTER_REJECTED_COUNTER = "serve.router.rejected"
+
 
 def service_histogram_name(label: str) -> str:
     """Per-service latency histogram name for a service label."""

@@ -46,6 +46,7 @@ ATTEMPT = "attempt"  #: one resilience retry attempt (or breaker rejection)
 SECTION = "section"  #: one profiler section (leaf component timing)
 KERNEL = "kernel"    #: one Sirius Suite kernel execution (``repro bench``)
 PARTIAL = "partial"  #: one streaming partial hypothesis (session ``partials()``)
+ROUTER = "router"    #: time a query spent queued/being placed at the cluster router
 
 _ID_BYTES = 8  # 16 hex chars — OpenTelemetry span-id width
 

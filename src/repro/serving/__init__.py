@@ -26,7 +26,11 @@ gives the reproduction that architecture explicitly:
   supports via ``open_session()``, with real incremental decoding for ASR;
 - :mod:`repro.serving.gateway` — the asyncio front door multiplexing many
   concurrent slow-arriving voice sessions, with VAD endpointing firing
-  downstream stages and barge-in cancellation.  See ``docs/STREAMING.md``.
+  downstream stages and barge-in cancellation.  See ``docs/STREAMING.md``;
+- :mod:`repro.serving.cluster` — the fleet layer: sharded replica
+  executors behind a pluggable router, seeded admission control, an SLO
+  autoscaler, and the virtual-time traffic-replay driver.  See
+  ``docs/CLUSTER.md``.
 
 :class:`~repro.core.pipeline.SiriusPipeline` is a thin facade over this
 layer.  See ``docs/SERVING.md`` for the architecture.
@@ -61,6 +65,7 @@ from repro.serving.executor import (
     FATAL_SERVICES,
     ExecutionState,
     PlanExecutor,
+    RouterTicket,
     build_executor,
 )
 from repro.serving.faults import (
@@ -128,6 +133,7 @@ __all__ = [
     "ResiliencePolicy",
     "ResilientService",
     "RetryPolicy",
+    "RouterTicket",
     "SerialBackend",
     "Service",
     "ServiceRequest",

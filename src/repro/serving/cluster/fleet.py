@@ -1,0 +1,345 @@
+"""The live cluster: replicated executors behind a deterministic router.
+
+A :class:`Cluster` is a fleet of fully independent
+:class:`~repro.serving.executor.PlanExecutor` replicas (each with its own
+services — typically sharded QA/IMM from
+:mod:`repro.serving.cluster.sharding`) fronted by one router.  Queries fan
+out *across* replicas (cross-query balancing) while each query fans out
+*within* its replica's sharded services (single-query scatter/gather) —
+the two axes of the paper's Section 6 architecture, composed.
+
+**Determinism before realism.**  The router's load signal is not measured
+queue length (which would depend on thread timing and break replay): it is
+a **windowed assignment count** — replica *i*'s depth is how many of the
+last ``window`` admitted queries were placed on it.  That signal is a pure
+fold over ordinals, so the full placement table for a stream is computed
+up front by :meth:`Cluster.plan_routes` and every decision is a pure
+function of ``(seed, ordinal)``.  Consequences the conformance suite
+checks: identical placements, outcome streams, and timing-stripped span
+forests across serial/thread/process backends, chaos included.  The model
+replay driver (:mod:`repro.serving.cluster.replay`) is the complementary
+mode with *true* queue depths in virtual time.
+
+Every placement is materialized as a
+:class:`~repro.serving.executor.RouterTicket`, so executors emit a
+``router`` span per query (queue wait attributed to stage ``ROUTER``, not
+to any service) and the critical-path analyzer prices the router like any
+other stage.  Rejected queries become *failed* responses with the stable
+``ADMISSION`` code and a one-span trace of their own — conservation holds:
+exactly one response per query, admitted or not.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.core.query import IPAQuery, QueryType, SiriusResponse
+from repro.errors import AdmissionError, ConfigurationError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    QUEUE_DEPTH_HISTOGRAM,
+    ROUTER_REJECTED_COUNTER,
+    ROUTER_WAIT_HISTOGRAM,
+    SHARD_FANOUT_HISTOGRAM,
+    record_responses,
+)
+from repro.obs.trace import ROUTER, Tracer
+from repro.serving.backends import get_backend
+from repro.serving.cluster.router import (
+    AdmissionControl,
+    POWER_OF_TWO,
+    RoutingPolicy,
+    get_policy,
+)
+from repro.serving.executor import DEGRADE, PlanExecutor, RouterTicket
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """One query's routing outcome, pure in ``(seed, ordinal)``."""
+
+    ordinal: int
+    admitted: bool
+    replica: int       #: chosen replica index (also set for rejected queries)
+    queue_depth: int   #: the chosen replica's windowed depth the router saw
+    policy: str
+
+    def key(self) -> tuple:
+        """The replay-comparable projection (used by conformance tests)."""
+        return (self.ordinal, self.admitted, self.replica, self.queue_depth)
+
+
+class Cluster:
+    """A routed fleet of plan-executor replicas.
+
+    ``executors`` are the replicas (index = replica id).  ``policy`` may be
+    a registry name or a :class:`~repro.serving.cluster.router.
+    RoutingPolicy` instance; ``admission`` is optional seeded load
+    shedding.  ``window`` sizes the assignment-count load signal (default:
+    four outstanding queries per replica).  ``metrics`` is recorded
+    parent-side after each stream — e2e/service histograms via
+    :func:`~repro.obs.metrics.record_responses` plus the router's own
+    queue-depth, router-wait, shard-fanout, and rejection series — so the
+    numbers are complete even when replicas ran in forked workers.
+    """
+
+    def __init__(
+        self,
+        executors: Sequence[PlanExecutor],
+        policy: Union[str, RoutingPolicy] = POWER_OF_TWO,
+        seed: int = 0,
+        admission: Optional[AdmissionControl] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        window: Optional[int] = None,
+    ):
+        if not executors:
+            raise ConfigurationError("a cluster needs >= 1 replica executor")
+        self.executors: List[PlanExecutor] = list(executors)
+        self.policy = policy if isinstance(policy, RoutingPolicy) else get_policy(policy)
+        self.seed = seed
+        self.admission = admission
+        self.metrics = metrics
+        self.window = window if window is not None else 4 * len(self.executors)
+        if self.window < 1:
+            raise ConfigurationError("window must be >= 1")
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.executors)
+
+    def warmup(self) -> None:
+        for executor in self.executors:
+            executor.warmup()
+
+    # -- routing -----------------------------------------------------------------
+
+    def plan_routes(self, n_queries: int) -> List[RouteDecision]:
+        """The full placement table for a stream, computed up front.
+
+        A pure fold: depths start at zero, each admitted query increments
+        its replica's count, and assignments older than ``window`` age
+        out.  No wall clock, no shared mutable state during execution —
+        the table is identical on every backend and every rerun.
+        """
+        depths = [0] * self.n_replicas
+        recent: deque = deque()
+        decisions: List[RouteDecision] = []
+        for ordinal in range(n_queries):
+            replica = self.policy.choose(ordinal, tuple(depths), seed=self.seed)
+            if not 0 <= replica < self.n_replicas:
+                raise ConfigurationError(
+                    f"policy {self.policy.name!r} chose replica {replica} "
+                    f"outside fleet of {self.n_replicas}"
+                )
+            depth = depths[replica]
+            admitted = (
+                self.admission.admit(ordinal, depth)
+                if self.admission is not None
+                else True
+            )
+            decisions.append(
+                RouteDecision(
+                    ordinal=ordinal,
+                    admitted=admitted,
+                    replica=replica,
+                    queue_depth=depth,
+                    policy=self.policy.name,
+                )
+            )
+            if admitted:
+                depths[replica] += 1
+                recent.append(replica)
+                if len(recent) > self.window:
+                    depths[recent.popleft()] -= 1
+        return decisions
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_all(
+        self,
+        queries: Sequence[IPAQuery],
+        backend: str = "serial",
+        workers: Optional[int] = None,
+        parallel_branches: bool = False,
+    ) -> List[SiriusResponse]:
+        """Serve a query stream through the routed fleet.
+
+        Returns exactly one response per query, in stream order (the
+        conservation property).  Fatal per-query failures degrade (the
+        stream never aborts); rejected queries come back failed with the
+        ``ADMISSION`` code.  ``backend`` fans whole queries out exactly as
+        :meth:`PlanExecutor.run_all` does — the placement table is already
+        fixed, so the backend only affects wall time, never outcomes.
+        """
+        queries = list(queries)
+        decisions = self.plan_routes(len(queries))
+        enqueued_at = time.perf_counter()
+
+        def run_one(item):
+            ordinal, query = item
+            decision = decisions[ordinal]
+            if not decision.admitted:
+                return self._rejected_response(query, decision)
+            ticket = RouterTicket(
+                policy=decision.policy,
+                replica=decision.replica,
+                n_replicas=self.n_replicas,
+                queue_depth=decision.queue_depth,
+                enqueued_at=enqueued_at,
+            )
+            return self.executors[decision.replica].run(
+                query,
+                ordinal=ordinal,
+                on_error=DEGRADE,
+                parallel_branches=parallel_branches,
+                router_ticket=ticket,
+            )
+
+        items = list(enumerate(queries))
+        resolved = get_backend(backend)
+        if resolved.name == "serial":
+            responses = [run_one(item) for item in items]
+        else:
+            responses = resolved.map(run_one, items, workers=workers)
+        if self.metrics is not None:
+            self._record_metrics(decisions, responses)
+        return responses
+
+    def _rejected_response(
+        self, query: IPAQuery, decision: RouteDecision
+    ) -> SiriusResponse:
+        """A failed response (plus a one-span trace) for a shed query."""
+        error = AdmissionError(
+            f"query #{decision.ordinal} rejected at the router "
+            f"(replica {decision.replica} depth {decision.queue_depth})",
+            service="router",
+        )
+        spans: tuple = ()
+        trace_seed = self.executors[decision.replica].trace_seed
+        if trace_seed is not None:
+            tracer = Tracer(seed=trace_seed)
+            root = tracer.begin_trace(decision.ordinal)
+            span = tracer.begin_span(
+                "router",
+                kind=ROUTER,
+                service="ROUTER",
+                attributes={
+                    "policy": decision.policy,
+                    "replica": decision.replica,
+                    "n_replicas": self.n_replicas,
+                    "queue_depth": decision.queue_depth,
+                },
+            )
+            tracer.end_span(span, status="error", error_code=error.code)
+            root.attributes["degraded"] = True
+            root.attributes["failed"] = True
+            tracer.end_span(root, status="error", error_code=error.code)
+            spans = tracer.finish()
+        query_type = (
+            QueryType.VOICE_IMAGE_QUERY
+            if query.image is not None
+            else QueryType.VOICE_COMMAND
+        )
+        return SiriusResponse(
+            query_type=query_type,
+            transcript="",
+            degraded=True,
+            failures={"ROUTER": error.code},
+            spans=spans,
+        )
+
+    def _record_metrics(
+        self,
+        decisions: Sequence[RouteDecision],
+        responses: Sequence[SiriusResponse],
+    ) -> None:
+        """Parent-side metrics: complete whichever backend ran the work."""
+        registry = self.metrics
+        record_responses(registry, responses)
+        depth_histogram = registry.histogram(QUEUE_DEPTH_HISTOGRAM)
+        for decision in decisions:
+            depth_histogram.observe(float(decision.queue_depth))
+            if not decision.admitted:
+                registry.counter(ROUTER_REJECTED_COUNTER).inc()
+            registry.counter(f"serve.router.replica.{decision.replica}").inc()
+        router_wait = registry.histogram(ROUTER_WAIT_HISTOGRAM)
+        fanout = registry.histogram(SHARD_FANOUT_HISTOGRAM)
+        for response in responses:
+            for span in getattr(response, "spans", ()) or ():
+                if span.kind == ROUTER and span.wait > 0:
+                    router_wait.observe(span.wait)
+                width = span.attributes.get("shard.fanout")
+                if width is not None:
+                    fanout.observe(float(width))
+
+
+def build_cluster(
+    pipeline,
+    n_replicas: int = 2,
+    n_shards: int = 2,
+    policy: Union[str, RoutingPolicy] = POWER_OF_TWO,
+    seed: int = 0,
+    admission: Optional[AdmissionControl] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    trace_seed: Optional[int] = None,
+    imm_top_k: int = 3,
+    fault_plan=None,
+) -> Cluster:
+    """Assemble a sharded fleet from one built pipeline's components.
+
+    Every replica gets its own :class:`PlanExecutor` over **sharded** QA
+    and IMM services (the image database and the websearch index are
+    partitioned ``n_shards`` ways; shard state is shared read-only across
+    replicas, as a real fleet shares storage).  ASR and classification
+    replicate whole — they carry no shardable corpus.  ``fault_plan``
+    (e.g. :func:`~repro.serving.faults.default_chaos_plan`) wraps every
+    replica's services in deterministic fault injectors keyed by ordinal,
+    so chaos replays identically across replicas and backends; rules keyed
+    by per-shard names (``qa.shard0``, ``imm.shard1``, ...) reach the
+    scatter legs inside the sharded services, which is how the conformance
+    suite rehearses partial shard failure.
+    """
+    from repro.serving.cluster.sharding import (
+        ShardedImmService,
+        ShardedQaService,
+        shard_image_database,
+        shard_qa_engines,
+    )
+    from repro.serving.faults import FaultInjector
+    from repro.serving.service import (
+        ASR,
+        CLASSIFY,
+        IMM,
+        QA,
+        AsrService,
+        ClassifierService,
+    )
+
+    if n_replicas < 1:
+        raise ConfigurationError("need n_replicas >= 1")
+    qa_shards = shard_qa_engines(pipeline.qa_engine, n_shards)
+    imm_shards = shard_image_database(pipeline.image_database, n_shards)
+    executors = []
+    for _ in range(n_replicas):
+        services = {
+            ASR: AsrService(pipeline.decoder),
+            CLASSIFY: ClassifierService(pipeline.classifier),
+            QA: ShardedQaService(qa_shards, fault_plan=fault_plan),
+            IMM: ShardedImmService(imm_shards, top_k=imm_top_k, fault_plan=fault_plan),
+        }
+        if fault_plan is not None:
+            services = {
+                name: FaultInjector(service, fault_plan)
+                for name, service in services.items()
+            }
+        executors.append(PlanExecutor(services, trace_seed=trace_seed))
+    return Cluster(
+        executors,
+        policy=policy,
+        seed=seed,
+        admission=admission,
+        metrics=metrics,
+    )

@@ -1,0 +1,330 @@
+"""Open-loop traffic replay: the cluster in virtual time.
+
+The live fleet (:mod:`repro.serving.cluster.fleet`) runs real queries and
+therefore tops out at what one machine can execute.  This driver answers
+the warehouse-scale question instead: it replays a seeded arrival process
+(:mod:`repro.datacenter.arrivals`) against a *model* fleet in virtual
+time — per-replica FIFO queues, service times drawn from a seeded sampler
+(measured histogram or exponential), the same pluggable routing policies
+and admission control as the live cluster, and an SLO autoscaler evaluated
+on the measured p99 once per tick.  Fifty thousand virtual queries replay
+in well under a second, and the per-replica load is scale-invariant, so
+tail estimates extrapolate to the paper's millions-of-queries regime
+(:func:`extrapolate_fleet`).
+
+**Everything is deterministic.**  Arrivals, service draws, routing,
+admission, and scaling decisions are all pure functions of the run's
+seeds, so the same ``(seed, arrival process)`` replays byte-identically —
+:meth:`ReplayResult.digest` hashes the full per-query outcome stream and
+the conformance suite asserts digest equality across repeated runs.  The
+model is also *checkable*: at ``n_replicas=1`` with Poisson arrivals and
+an exponential sampler it **is** an M/M/1 queue, and
+:meth:`ReplayResult.mm1_p99` gives the closed-form tail to compare
+against (``repro cluster-bench`` prints both; the conformance suite
+asserts the documented error bound).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.datacenter.arrivals import ArrivalProcess
+from repro.datacenter.simulation import mm1_percentile
+from repro.errors import ConfigurationError
+from repro.obs.metrics import percentile
+from repro.serving.cluster.autoscaler import AutoscalerPolicy, ScaleDecision
+from repro.serving.cluster.router import AdmissionControl, RoutingPolicy, get_policy
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One virtual query's fate — every field deterministic under the seeds."""
+
+    ordinal: int
+    arrival: float     #: absolute virtual arrival time
+    admitted: bool
+    replica: int
+    queue_depth: int   #: true queue depth the router saw at arrival
+    wait: float = 0.0       #: virtual seconds queued before service
+    service: float = 0.0    #: virtual service seconds
+    response: float = 0.0   #: wait + service
+
+    def key(self) -> tuple:
+        return (
+            self.ordinal, round(self.arrival, 9), self.admitted, self.replica,
+            self.queue_depth, round(self.wait, 9), round(self.service, 9),
+        )
+
+
+@dataclass
+class ReplayResult:
+    """Aggregate statistics plus the full deterministic outcome stream."""
+
+    policy: str
+    n_queries: int
+    n_admitted: int
+    n_rejected: int
+    horizon: float                 #: virtual end time (last completion)
+    mean_service: float
+    mean_rate: float               #: admitted arrivals / horizon
+    utilization: float             #: busy replica-seconds / available
+    p50_response: float
+    p95_response: float
+    p99_response: float
+    p50_wait: float
+    p99_wait: float
+    outcomes: List[QueryOutcome] = field(default_factory=list)
+    decisions: List[ScaleDecision] = field(default_factory=list)
+    #: (tick index, active replica count) after each autoscaler evaluation.
+    replica_timeline: List[Tuple[int, int]] = field(default_factory=list)
+
+    def digest(self) -> str:
+        """SHA-256 over the ordered outcome stream — the replay identity.
+
+        Two runs with the same seeds must produce equal digests whatever
+        machine, process, or hash seed ran them; the conformance suite
+        holds the cluster layer to exactly this.
+        """
+        hasher = hashlib.sha256()
+        for outcome in self.outcomes:
+            hasher.update(repr(outcome.key()).encode())
+        for decision in self.decisions:
+            hasher.update(
+                f"{decision.tick}:{decision.action}:{decision.n_replicas}".encode()
+            )
+        return hasher.hexdigest()
+
+    def mm1_p99(self) -> float:
+        """Closed-form M/M/1 p99 at this run's measured service mean and load.
+
+        Exact only for the M/M/1 configuration (one replica, Poisson
+        arrivals, exponential service); for everything else it is the
+        analytic baseline the measured tail is compared against.
+        """
+        if not 0 < self.utilization < 1:
+            raise ConfigurationError(
+                "mm1_p99 needs utilization in (0, 1); the replay measured "
+                f"{self.utilization:.3f}"
+            )
+        return mm1_percentile(self.mean_service, self.utilization, 99.0)
+
+    def mm1_error(self) -> float:
+        """Relative error of the measured p99 against the M/M/1 prediction."""
+        predicted = self.mm1_p99()
+        return abs(self.p99_response - predicted) / predicted if predicted else 0.0
+
+
+def replay_cluster(
+    process: ArrivalProcess,
+    service_sampler: Callable[[], float],
+    n_queries: int,
+    policy: Union[str, RoutingPolicy] = "round-robin",
+    n_replicas: int = 1,
+    seed: int = 0,
+    admission: Optional[AdmissionControl] = None,
+    autoscaler: Optional[AutoscalerPolicy] = None,
+    tick_seconds: float = 5.0,
+    warmup_fraction: float = 0.1,
+) -> ReplayResult:
+    """Replay ``n_queries`` of a seeded arrival process through a model fleet.
+
+    Each replica is a single-server FIFO queue in virtual time.  Per
+    arrival, in order: the router sees every active replica's *true*
+    outstanding-work depth, the policy picks a replica, admission accepts
+    or sheds, and an admitted query waits for the replica's queue to drain
+    before its sampled service time runs.  When an ``autoscaler`` is
+    supplied, it is evaluated every ``tick_seconds`` of virtual time on
+    the p99 of responses completed during that tick; scale-ups add idle
+    replicas, scale-downs stop *assigning* to the highest-indexed replicas
+    (in-flight work drains — connection draining, not job killing).
+
+    Queueing percentiles discard the first ``warmup_fraction`` of admitted
+    queries (transient ramp from the empty state); conservation counts
+    never discard anything.
+    """
+    if n_queries < 1:
+        raise ConfigurationError("need n_queries >= 1")
+    if n_replicas < 1:
+        raise ConfigurationError("need n_replicas >= 1")
+    if tick_seconds <= 0:
+        raise ConfigurationError("tick_seconds must be positive")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ConfigurationError("warmup_fraction must be in [0, 1)")
+    resolved = policy if isinstance(policy, RoutingPolicy) else get_policy(policy)
+
+    max_replicas = (
+        autoscaler.max_replicas if autoscaler is not None else n_replicas
+    )
+    active = n_replicas
+    # Per-replica FIFO state: completion times of outstanding work, and the
+    # time the replica next becomes free.
+    pending: List[deque] = [deque() for _ in range(max_replicas)]
+    free_at = [0.0] * max_replicas
+
+    arrivals = process.times(n_queries, seed=seed)
+    outcomes: List[QueryOutcome] = []
+    decisions: List[ScaleDecision] = []
+    replica_timeline: List[Tuple[int, int]] = []
+    completed: List[Tuple[float, float]] = []  # (completion time, response)
+    busy_time = 0.0
+    replica_seconds = 0.0
+    last_change = 0.0
+    next_tick = tick_seconds
+    tick_index = 0
+
+    def run_ticks(now: float) -> None:
+        """Evaluate every autoscaler tick that elapsed before ``now``."""
+        nonlocal active, next_tick, tick_index
+        nonlocal replica_seconds, last_change
+        if autoscaler is None:
+            return
+        while next_tick <= now:
+            # The tick's signal: p99 of responses *completed* during the
+            # tick window.  ``completed`` is in arrival order (completions
+            # are not globally monotone), so filter by time, not position.
+            window_start = next_tick - tick_seconds
+            window = [
+                response
+                for completion, response in completed
+                if window_start < completion <= next_tick
+            ]
+            p99 = percentile(window, 99.0) if window else 0.0
+            decision = autoscaler.decide(tick_index, p99, active, seed=seed)
+            decisions.append(decision)
+            if decision.n_replicas != active:
+                replica_seconds += active * (next_tick - last_change)
+                last_change = next_tick
+                active = decision.n_replicas
+            replica_timeline.append((tick_index, active))
+            tick_index += 1
+            next_tick += tick_seconds
+
+    for ordinal, arrival in enumerate(arrivals):
+        run_ticks(arrival)
+        depths = []
+        for index in range(active):
+            queue = pending[index]
+            while queue and queue[0] <= arrival:
+                queue.popleft()
+            depths.append(len(queue))
+        replica = resolved.choose(ordinal, tuple(depths), seed=seed)
+        if not 0 <= replica < active:
+            raise ConfigurationError(
+                f"policy {resolved.name!r} chose replica {replica} "
+                f"outside the {active} active replicas"
+            )
+        depth = depths[replica]
+        admitted = (
+            admission.admit(ordinal, depth) if admission is not None else True
+        )
+        if not admitted:
+            outcomes.append(
+                QueryOutcome(
+                    ordinal=ordinal, arrival=arrival, admitted=False,
+                    replica=replica, queue_depth=depth,
+                )
+            )
+            continue
+        start = max(arrival, free_at[replica])
+        service = max(service_sampler(), 1e-9)
+        completion = start + service
+        free_at[replica] = completion
+        pending[replica].append(completion)
+        busy_time += service
+        completed.append((completion, completion - arrival))
+        outcomes.append(
+            QueryOutcome(
+                ordinal=ordinal, arrival=arrival, admitted=True,
+                replica=replica, queue_depth=depth,
+                wait=start - arrival, service=service,
+                response=completion - arrival,
+            )
+        )
+
+    horizon = max(
+        [outcome.arrival for outcome in outcomes]
+        + [completion for completion, _ in completed]
+        + [1e-9]
+    )
+    replica_seconds += active * (horizon - last_change)
+    if not replica_timeline:
+        # No autoscaler ticks fired: the fleet held its initial size.
+        replica_timeline.append((0, active))
+    admitted_outcomes = [outcome for outcome in outcomes if outcome.admitted]
+    cutoff = int(len(admitted_outcomes) * warmup_fraction)
+    kept = admitted_outcomes[cutoff:]
+    responses = [outcome.response for outcome in kept]
+    waits = [outcome.wait for outcome in kept]
+    services = [outcome.service for outcome in admitted_outcomes]
+    return ReplayResult(
+        policy=resolved.name,
+        n_queries=n_queries,
+        n_admitted=len(admitted_outcomes),
+        n_rejected=n_queries - len(admitted_outcomes),
+        horizon=horizon,
+        mean_service=(
+            math.fsum(services) / len(services) if services else 0.0
+        ),
+        mean_rate=len(admitted_outcomes) / horizon if horizon > 0 else 0.0,
+        utilization=(
+            min(busy_time / replica_seconds, 1.0) if replica_seconds > 0 else 0.0
+        ),
+        p50_response=percentile(responses, 50.0),
+        p95_response=percentile(responses, 95.0),
+        p99_response=percentile(responses, 99.0),
+        p50_wait=percentile(waits, 50.0),
+        p99_wait=percentile(waits, 99.0),
+        outcomes=outcomes,
+        decisions=decisions,
+        replica_timeline=replica_timeline,
+    )
+
+
+@dataclass(frozen=True)
+class FleetEstimate:
+    """A model-extrapolated fleet size for a target query volume."""
+
+    target_queries: int      #: total queries over the planning window
+    window_seconds: float    #: planning window length
+    target_rate: float       #: implied queries/second
+    per_replica_rate: float  #: sustainable admitted rate per replica
+    n_replicas: int          #: replicas needed at the measured load point
+    projected_p99: float     #: per-replica load is preserved, so p99 carries
+
+
+def extrapolate_fleet(
+    result: ReplayResult,
+    target_queries: int = 1_000_000,
+    window_seconds: float = 3600.0,
+) -> FleetEstimate:
+    """Size a fleet for ``target_queries`` over ``window_seconds``.
+
+    Scale-invariance does the work: each replica in the measured replay
+    sustained ``mean_rate / active_replicas`` admitted queries per second
+    at the measured utilization and tail.  Holding the *per-replica* load
+    fixed, serving the target volume needs proportionally more replicas —
+    and preserves the measured p99, because a FIFO replica's response
+    distribution depends only on its own arrival/service processes.  This
+    is the model-extrapolation step: a 50 k-query replay prices a
+    million-query hour without simulating it.
+    """
+    if target_queries < 1 or window_seconds <= 0:
+        raise ConfigurationError("need target_queries >= 1 and window > 0")
+    if result.n_admitted == 0 or result.horizon <= 0:
+        raise ConfigurationError("cannot extrapolate from an empty replay")
+    counts = [count for _, count in result.replica_timeline] or [1]
+    mean_active = math.fsum(counts) / len(counts)
+    per_replica = result.mean_rate / max(mean_active, 1.0)
+    target_rate = target_queries / window_seconds
+    return FleetEstimate(
+        target_queries=target_queries,
+        window_seconds=window_seconds,
+        target_rate=target_rate,
+        per_replica_rate=per_replica,
+        n_replicas=max(int(math.ceil(target_rate / per_replica)), 1),
+        projected_p99=result.p99_response,
+    )

@@ -51,10 +51,12 @@ from repro.errors import ConfigurationError, SiriusError
 from repro.obs.context import use_tracer
 from repro.obs.metrics import (
     MetricsRegistry,
+    QUEUE_DEPTH_HISTOGRAM,
+    ROUTER_WAIT_HISTOGRAM,
     record_responses,
     wait_histogram_name,
 )
-from repro.obs.trace import Tracer
+from repro.obs.trace import ROUTER, Tracer
 from repro.profiling import Profiler
 from repro.serving.backends import get_backend
 from repro.serving.faults import drain_virtual_seconds
@@ -133,6 +135,27 @@ _REQUEST_BUILDERS: Dict[str, Callable[[ExecutionState], ServiceRequest]] = {
 }
 
 
+@dataclass(frozen=True)
+class RouterTicket:
+    """A cluster router's placement record for one query.
+
+    Handed to :meth:`PlanExecutor.run` by :class:`repro.serving.cluster.
+    fleet.Cluster` so time spent *queued at the router* is attributed to a
+    dedicated ``router`` span instead of being folded into the first
+    service's self time (or lost entirely).  ``policy``/``replica``/
+    ``queue_depth`` are pure functions of ``(seed, ordinal)`` and live in
+    span attributes; ``enqueued_at`` is a measured ``perf_counter`` reading
+    and only ever feeds the span's timing fields, so timing-stripped
+    exports stay byte-identical across backends.
+    """
+
+    policy: str                        #: routing policy name (e.g. "power-of-two")
+    replica: int                       #: chosen replica index
+    n_replicas: int = 1                #: fleet size at assignment time
+    queue_depth: int = 0               #: chosen replica's depth seen by the router
+    enqueued_at: Optional[float] = None  #: perf_counter at router assignment
+
+
 @dataclass
 class _StageFailure:
     """Per-item failure marker crossing backend boundaries in batched mode."""
@@ -203,6 +226,7 @@ class PlanExecutor:
         on_error: str = RAISE,
         precomputed: Optional[Dict[str, Any]] = None,
         wall_start: Optional[float] = None,
+        router_ticket: Optional[RouterTicket] = None,
     ) -> SiriusResponse:
         """Run one query through its plan and assemble the response.
 
@@ -219,12 +243,27 @@ class PlanExecutor:
         (and its root span) to when the session opened, so ``wall_seconds``
         and time-to-first-partial measure from first audio, not from
         ``run()``.
+
+        ``router_ticket`` records that a cluster router queued and placed
+        this query: the clock (and root span) is backdated to the ticket's
+        ``enqueued_at``, and the assignment-to-dispatch delay is emitted as
+        a dedicated ``router`` span (stage label ``ROUTER``, the whole
+        window counted as wait) so queue time at the router is never folded
+        into any service's self time.
         """
         _check_on_error(on_error)
         plan = plan if plan is not None else self.plan
         if plan is not self.plan:
             self._check_plan(plan)
         precomputed = dict(precomputed) if precomputed else {}
+        if (
+            wall_start is None
+            and router_ticket is not None
+            and router_ticket.enqueued_at is not None
+        ):
+            # The query's clock starts when the router accepted it, so
+            # wall_seconds covers the queueing delay the user experienced.
+            wall_start = router_ticket.enqueued_at
         state = ExecutionState(
             query=query,
             profiler=profiler if profiler is not None else Profiler(),
@@ -236,6 +275,8 @@ class PlanExecutor:
             # The root span's measured window starts at session open; its
             # identity is unaffected (IDs are position-derived, not timed).
             state.root_span.start = wall_start
+        if router_ticket is not None:
+            self._record_router(state, router_ticket)
         ambient = (
             use_tracer(state.tracer) if state.tracer is not None else nullcontext()
         )
@@ -264,6 +305,41 @@ class PlanExecutor:
                     exc.__sirius_spans__ = state.tracer.finish()
                 raise
         return self._build_response(state)
+
+    def _record_router(self, state: ExecutionState, ticket: RouterTicket) -> None:
+        """Materialize the router's placement as a span and metrics.
+
+        The span covers ``[enqueued_at, dispatch]`` — the real queue window
+        — with the *whole* window recorded as wait, so the critical-path
+        analyzer (which clamps wait to measured self time) attributes it to
+        a ``ROUTER`` stage of its own.  All attributes are deterministic
+        under the run's seed; only ``start``/``end``/``wait`` are measured.
+        """
+        wait = 0.0
+        if ticket.enqueued_at is not None:
+            wait = max(time.perf_counter() - ticket.enqueued_at, 0.0)
+        if state.tracer is not None:
+            span = state.tracer.begin_span(
+                "router",
+                kind=ROUTER,
+                service="ROUTER",
+                attributes={
+                    "policy": ticket.policy,
+                    "replica": ticket.replica,
+                    "n_replicas": ticket.n_replicas,
+                    "queue_depth": ticket.queue_depth,
+                },
+            )
+            if ticket.enqueued_at is not None:
+                span.start = ticket.enqueued_at
+            state.tracer.end_span(span)
+            span.wait = span.duration
+        if self.metrics is not None:
+            if wait > 0:
+                self.metrics.histogram(ROUTER_WAIT_HISTOGRAM).observe(wait)
+            self.metrics.histogram(QUEUE_DEPTH_HISTOGRAM).observe(
+                float(ticket.queue_depth)
+            )
 
     def _begin_trace(self, state: ExecutionState) -> None:
         """Open the query's root span when tracing is enabled.

@@ -240,3 +240,88 @@ class TestChaosIntegration:
         serial = report("serial")
         assert serial == report("thread")
         assert serial == report("process")
+
+
+class TestRouterQueueAttribution:
+    """Regression: router-queued time must not leak into service self time.
+
+    Before the cluster layer, a query that sat in a dispatch queue either
+    lost that window entirely or had it absorbed by whichever service ran
+    first.  With a :class:`~repro.serving.executor.RouterTicket` the
+    executor backdates the trace to ``enqueued_at`` and emits a dedicated
+    ``router`` span whose whole window is wait, so the analyzer carves the
+    queue out as its own ``ROUTER`` stage and the fsum decomposition stays
+    exact.
+    """
+
+    WINDOW = 0.05  # seconds of simulated router queueing
+
+    def run_with_ticket(self):
+        import time as _time
+
+        from repro.obs.trace import ROUTER
+        from repro.serving import RouterTicket
+
+        from tests.test_obs import make_query
+
+        executor = traced_executor(trace_seed=0)
+        ticket = RouterTicket(
+            policy="power-of-two",
+            replica=0,
+            n_replicas=3,
+            queue_depth=2,
+            enqueued_at=_time.perf_counter() - self.WINDOW,
+        )
+        response = executor.run(make_query("what is this"),
+                                router_ticket=ticket)
+        return response, ROUTER
+
+    def test_router_span_carries_the_whole_queue_window_as_wait(self):
+        response, ROUTER = self.run_with_ticket()
+        routers = [s for s in response.spans if s.kind == ROUTER]
+        assert len(routers) == 1
+        span = routers[0]
+        assert span.service == "ROUTER"
+        assert span.wait == pytest.approx(span.duration)
+        assert span.wait >= self.WINDOW * 0.9
+        assert span.attributes["policy"] == "power-of-two"
+        assert span.attributes["queue_depth"] == 2
+
+    def test_analyzer_carves_a_wait_dominated_router_stage(self):
+        response, _ = self.run_with_ticket()
+        (analysis,) = analyze_forest(response.spans)
+        stages = {}
+        for attribution in analysis.attributions:
+            stages.setdefault(attribution.stage, []).append(attribution)
+        assert "ROUTER" in stages
+        router_total = math.fsum(
+            a.total_seconds for a in stages["ROUTER"]
+        )
+        router_wait = math.fsum(a.wait_seconds for a in stages["ROUTER"])
+        assert router_total >= self.WINDOW * 0.9
+        assert router_wait == pytest.approx(router_total)
+        # No other stage absorbed the queue window: everything that is not
+        # the router stage fits in the root window minus the queue time.
+        other_total = math.fsum(
+            a.total_seconds
+            for stage, attributions in stages.items()
+            if stage != "ROUTER"
+            for a in attributions
+        )
+        assert other_total <= analysis.measured_seconds - router_wait + 1e-6
+
+    def test_fsum_decomposition_stays_exact_with_router_span(self):
+        response, _ = self.run_with_ticket()
+        (analysis,) = analyze_forest(response.spans)
+        assert attributed_total(analysis) == pytest.approx(
+            analysis.measured_seconds + analysis.virtual_seconds, abs=1e-9
+        )
+
+    def test_no_ticket_means_no_router_span(self):
+        from repro.obs.trace import ROUTER
+
+        from tests.test_obs import make_query
+
+        executor = traced_executor(trace_seed=0)
+        response = executor.run(make_query("what is this"))
+        assert not [s for s in response.spans if s.kind == ROUTER]

@@ -261,3 +261,131 @@ class TestFaultPlanProperties:
             if kind == OUTAGE:
                 kwargs["stop"] = 1
             assert FaultRule(**kwargs).kind == kind
+
+
+# -- routing policies --------------------------------------------------------------
+
+
+from repro.serving.cluster import (  # noqa: E402
+    AdmissionControl,
+    LeastLoadedPolicy,
+    PowerOfTwoPolicy,
+    RoundRobinPolicy,
+    get_policy,
+)
+
+depth_vectors = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=1, max_size=8
+)
+
+
+class TestRoutingPolicyProperties:
+    @settings(deadline=None, max_examples=200)
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           ordinal=st.integers(min_value=0, max_value=500),
+           depths=depth_vectors)
+    def test_choices_are_pure_in_seed_and_ordinal(self, seed, ordinal, depths):
+        for name in ("round-robin", "least-loaded", "power-of-two"):
+            first = get_policy(name).choose(ordinal, tuple(depths), seed=seed)
+            again = get_policy(name).choose(ordinal, tuple(depths), seed=seed)
+            assert first == again
+            assert 0 <= first < len(depths)
+
+    @settings(deadline=None, max_examples=200)
+    @given(ordinal=st.integers(min_value=0, max_value=500),
+           depths=depth_vectors)
+    def test_least_loaded_is_never_strictly_worse(self, ordinal, depths):
+        choice = LeastLoadedPolicy().choose(ordinal, tuple(depths))
+        assert depths[choice] == min(depths)
+        # Ties break to the lowest index, deterministically.
+        assert choice == depths.index(min(depths))
+
+    @settings(deadline=None, max_examples=200)
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           ordinal=st.integers(min_value=0, max_value=500),
+           depths=depth_vectors)
+    def test_power_of_two_takes_the_lighter_of_its_two_draws(
+        self, seed, ordinal, depths
+    ):
+        choice = PowerOfTwoPolicy().choose(ordinal, tuple(depths), seed=seed)
+        if len(depths) == 1:
+            assert choice == 0
+            return
+        # Recompute the seeded coin exactly as the policy documents it.
+        rng = random.Random(f"{seed}:{ordinal}:p2c")
+        candidates = sorted({rng.randrange(len(depths)),
+                             rng.randrange(len(depths))})
+        assert choice in candidates
+        assert depths[choice] == min(depths[c] for c in candidates)
+        # Equal-depth ties break to the lower replica index.
+        assert choice == min(
+            c for c in candidates if depths[c] == depths[choice]
+        )
+
+    @settings(deadline=None, max_examples=150)
+    @given(ordinal=st.integers(min_value=0, max_value=500),
+           depths=depth_vectors)
+    def test_round_robin_ignores_load(self, ordinal, depths):
+        assert RoundRobinPolicy().choose(ordinal, tuple(depths)) == (
+            ordinal % len(depths)
+        )
+
+
+class TestAdmissionProperties:
+    @settings(deadline=None, max_examples=200)
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           ordinal=st.integers(min_value=0, max_value=500),
+           depth=st.integers(min_value=0, max_value=60),
+           max_depth=st.integers(min_value=0, max_value=40),
+           drop_rate=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_admission_is_pure_and_depth_wall_is_hard(
+        self, seed, ordinal, depth, max_depth, drop_rate
+    ):
+        control = AdmissionControl(
+            max_depth=max_depth, drop_rate=drop_rate, seed=seed
+        )
+        twin = AdmissionControl(
+            max_depth=max_depth, drop_rate=drop_rate, seed=seed
+        )
+        decision = control.admit(ordinal, depth)
+        assert decision == twin.admit(ordinal, depth)
+        if max_depth and depth >= max_depth:
+            assert decision is False
+        if drop_rate == 0.0 and (not max_depth or depth < max_depth):
+            assert decision is True
+
+
+class TestPowerOfTwoBeatsBlindPlacement:
+    """The Mitzenmacher collapse, measured on an adversarial depth stream.
+
+    Departures drain a seeded-random replica each step, so queue depths
+    drift apart; round-robin keeps assigning blindly while power-of-two
+    reacts to the imbalance.  With pinned seeds the peak queue depth under
+    power-of-two must never exceed round-robin's, and least-loaded must do
+    at least as well as power-of-two.
+    """
+
+    def _peak_depth(self, policy_name, seed, n_replicas=4, n_steps=600):
+        policy = get_policy(policy_name)
+        departures = random.Random(f"{seed}:departures")
+        depths = [0] * n_replicas
+        peak = 0
+        for ordinal in range(n_steps):
+            choice = policy.choose(ordinal, tuple(depths), seed=seed)
+            depths[choice] += 1
+            peak = max(peak, max(depths))
+            # Adversarial drain: empty a random replica's slot 80% of the
+            # time, so load-blind placement accumulates skew.
+            if departures.random() < 0.8:
+                victim = departures.randrange(n_replicas)
+                if depths[victim] > 0:
+                    depths[victim] -= 1
+        return peak
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_two_choices_collapse_the_peak_load_gap(self, seed):
+        rr = self._peak_depth("round-robin", seed)
+        p2c = self._peak_depth("power-of-two", seed)
+        ll = self._peak_depth("least-loaded", seed)
+        assert p2c <= rr, f"seed {seed}: p2c peak {p2c} > round-robin {rr}"
+        assert ll <= p2c, f"seed {seed}: least-loaded peak {ll} > p2c {p2c}"
