@@ -578,6 +578,105 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_report(args: argparse.Namespace) -> int:
+    """``repro fleet-report``: the fleet health dashboard.
+
+    Rollups, SLO burn rates, the autoscaler trajectory, and the trace
+    sampling bill in one deterministic page.  Two sources:
+
+    - **replay mode** (default): a seeded virtual-time cluster replay —
+      arrivals, routing, optional autoscaling — evaluated end to end;
+    - **span mode** (positional path): a timing-stripped JSONL span
+      export from ``serve-bench --trace`` or a live cluster run,
+      projected onto the ordinal clock.
+
+    ``--json`` prints canonical JSON for golden pinning; ``--smoke``
+    rebuilds the whole report from scratch and exits 2 unless both
+    renderings are byte-identical.
+    """
+    from repro.datacenter.arrivals import make_process
+    from repro.datacenter.simulation import exponential_sampler
+    from repro.errors import ObsError
+    from repro.obs import read_jsonl
+    from repro.obs.fleet_report import (
+        render_fleet_report,
+        report_from_replay,
+        report_from_spans,
+        report_to_json,
+    )
+    from repro.obs.slo import default_slos
+    from repro.serving.cluster import replay_cluster
+    from repro.serving.cluster.autoscaler import AutoscalerPolicy
+
+    if args.smoke:
+        args.queries = min(args.queries, 2_000)
+
+    slos = default_slos(
+        e2e_threshold=args.e2e_slo, ttfp_threshold=args.ttfp_slo
+    )
+
+    if args.path:
+        spans = read_jsonl(args.path)
+        if not spans:
+            raise ObsError(
+                f"span export {args.path!r} contains no spans; was the "
+                "trace written with tracing enabled (serve-bench --trace)?"
+            )
+
+        def build():
+            return report_from_spans(
+                spans,
+                window=args.window,
+                head_rate=args.head_rate,
+                top_k=args.top_k,
+                sample_seed=args.seed,
+                slos=slos,
+            )
+    else:
+        def build():
+            result = replay_cluster(
+                make_process(args.arrivals, args.rate),
+                exponential_sampler(args.service_mean, seed=args.seed + 1),
+                args.queries,
+                policy=args.policy,
+                n_replicas=args.replicas,
+                seed=args.seed,
+                autoscaler=(
+                    AutoscalerPolicy(slo_p99=args.e2e_slo)
+                    if args.autoscale else None
+                ),
+                tick_seconds=args.window,
+            )
+            return report_from_replay(
+                result,
+                head_rate=args.head_rate,
+                top_k=args.top_k,
+                sample_seed=args.seed,
+                trace_seed=args.seed,
+                slos=slos,
+            )
+
+    report = build()
+    rendered = (
+        report_to_json(report) if args.json else render_fleet_report(report)
+    )
+    print(rendered, end="")
+
+    if args.smoke:
+        again = build()
+        stable = (
+            report_to_json(again) == report_to_json(report)
+            and render_fleet_report(again) == render_fleet_report(report)
+        )
+        print(
+            f"fleet-report determinism: {'ok' if stable else 'FAILED'}",
+            file=sys.stderr,
+        )
+        if not stable:
+            return 2
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench``: run the registry and/or gate against a baseline."""
     from repro.obs import bench
@@ -816,6 +915,56 @@ def build_parser() -> argparse.ArgumentParser:
              "operational intensity from span work counters)",
     )
     trace_report.set_defaults(func=_cmd_trace_report)
+
+    fleet = sub.add_parser(
+        "fleet-report",
+        help="fleet health dashboard: rollups, SLO burn rates, autoscaler "
+             "trajectory, and the trace-sampling bill",
+    )
+    fleet.add_argument(
+        "path", nargs="?", default=None,
+        help="JSONL span export to evaluate (default: run a seeded replay)",
+    )
+    fleet.add_argument("--queries", type=int, default=5_000,
+                       help="replay arrival count (default 5000)")
+    fleet.add_argument("--replicas", type=int, default=2)
+    fleet.add_argument(
+        "--policy", default="least-loaded",
+        choices=("round-robin", "least-loaded", "power-of-two"),
+    )
+    fleet.add_argument(
+        "--arrivals", default="poisson",
+        choices=("poisson", "diurnal", "bursty"),
+    )
+    fleet.add_argument("--rate", type=float, default=12.0,
+                       help="arrival rate in queries/second (default 12)")
+    fleet.add_argument("--service-mean", type=float, default=0.12,
+                       help="mean service time in seconds (default 0.12)")
+    fleet.add_argument(
+        "--autoscale", action="store_true",
+        help="enable the SLO autoscaler in replay mode (target = --e2e-slo)",
+    )
+    fleet.add_argument("--window", type=float, default=5.0,
+                       help="rollup window width in virtual seconds")
+    fleet.add_argument("--head-rate", type=float, default=0.1,
+                       help="head sampling probability (default 0.1)")
+    fleet.add_argument("--top-k", type=int, default=8,
+                       help="slowest-trace reservoir size (default 8)")
+    fleet.add_argument("--e2e-slo", type=float, default=2.5,
+                       help="end-to-end p99 threshold in seconds")
+    fleet.add_argument("--ttfp-slo", type=float, default=0.5,
+                       help="time-to-first-partial p95 threshold in seconds")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--json", action="store_true",
+        help="emit canonical JSON (sorted keys) instead of the dashboard",
+    )
+    fleet.add_argument(
+        "--smoke", action="store_true",
+        help="CI shape: <= 2000 arrivals, rebuild twice, exit 2 unless "
+             "both renderings are byte-identical",
+    )
+    fleet.set_defaults(func=_cmd_fleet_report)
 
     bench = sub.add_parser(
         "bench",

@@ -282,10 +282,18 @@ def histogram_sampler(histogram, seed: int = 0) -> Callable[[], float]:
     :class:`repro.obs.metrics.Histogram` or a picklable
     :class:`repro.obs.metrics.HistogramSnapshot` from a trace report —
     so measured serving distributions plug straight into the queue model.
-    Non-positive samples (degenerately fast stubbed services) are clamped
-    to a nanosecond: a zero service time would break utilization math.
+    Repeated observations carried as reservoir ``weights`` keep their
+    multiplicity (draws are weight-proportional).  Non-positive samples
+    (degenerately fast stubbed services) are clamped to a nanosecond: a
+    zero service time would break utilization math.
     """
     samples = [max(value, 1e-9) for value in histogram.samples]
+    weights = list(getattr(histogram, "weights", ()) or ())
+    if weights and any(weight != 1 for weight in weights):
+        if not samples:
+            raise ConfigurationError("need at least one sample")
+        rng = random.Random(seed)
+        return lambda: rng.choices(samples, weights=weights, k=1)[0]
     return empirical_sampler(samples, seed=seed)
 
 
@@ -310,7 +318,13 @@ def simulate_from_histogram(
     samples = list(histogram.samples)
     if not samples:
         raise ConfigurationError("histogram has no samples to simulate from")
-    mean = max(math.fsum(samples) / len(samples), 1e-9)
+    weights = list(getattr(histogram, "weights", ()) or ()) or [1] * len(samples)
+    population = sum(weights)
+    mean = max(
+        math.fsum(value * weight for value, weight in zip(samples, weights))
+        / population,
+        1e-9,
+    )
     return simulate_queue(
         arrival_rate=load / (mean * n_servers),
         service_sampler=histogram_sampler(histogram, seed=seed + 1),

@@ -28,11 +28,22 @@ produces those measurements from a live run:
   self/wait/virtual time attribution over span forests
   (``repro trace-report --critical-path``);
 - :mod:`repro.obs.bench` — the benchmark registry, ``BENCH_<tag>.json``
-  reports, and the counter-based regression gate (``repro bench``).
+  reports, and the counter-based regression gate (``repro bench``);
+- :mod:`repro.obs.timeseries` — windowed rollups over virtual time
+  (counters + value panels keyed by metric × labels × window) with the
+  same associative snapshot/merge algebra as the metrics registry;
+- :mod:`repro.obs.sampling` — deterministic trace sampling: hash-based
+  head decisions pure in ``(seed, trace_id)`` plus always-keep tail
+  rules for errors/deadlines/breaker-opens/degradations and a
+  slowest-k reservoir, with the span-reduction bill;
+- :mod:`repro.obs.slo` — declarative SLOs, error budgets, and
+  multi-window burn-rate alerts evaluated over rollup snapshots;
+- :mod:`repro.obs.fleet_report` — the ``repro fleet-report`` dashboard
+  and its canonical golden-pinnable JSON rendering.
 
-Wired into ``repro serve-bench --trace/--metrics``, ``repro trace-report``
-and ``repro bench``; see ``docs/OBSERVABILITY.md`` and
-``docs/BENCHMARKING.md``.
+Wired into ``repro serve-bench --trace/--metrics``, ``repro trace-report``,
+``repro fleet-report`` and ``repro bench``; see ``docs/OBSERVABILITY.md``
+and ``docs/BENCHMARKING.md``.
 """
 
 from repro.obs.context import annotate, current_tracer, use_tracer
@@ -76,12 +87,21 @@ from repro.obs.metrics import (
     MetricsSnapshot,
     log_buckets,
     merge_histograms,
+    bench_histogram_name,
     merge_snapshots,
     percentile,
     record_response,
     record_responses,
+    replica_counter_name,
     service_histogram_name,
     wait_histogram_name,
+)
+from repro.obs.fleet_report import (
+    FleetReport,
+    render_fleet_report,
+    report_from_replay,
+    report_from_spans,
+    report_to_json,
 )
 from repro.obs.report import (
     format_mm1_comparison,
@@ -90,6 +110,30 @@ from repro.obs.report import (
     format_waterfall,
     metrics_from_spans,
     render_report,
+)
+from repro.obs.sampling import (
+    SamplingStats,
+    TraceSampler,
+    TraceSummary,
+    head_decision,
+    head_score,
+    summarize_forest,
+    summarize_outcomes,
+)
+from repro.obs.slo import (
+    BurnRateAlert,
+    SLODefinition,
+    SLOStatus,
+    default_slos,
+    evaluate_slo,
+    evaluate_slos,
+)
+from repro.obs.timeseries import (
+    RollupSnapshot,
+    RollupStore,
+    canonical_labels,
+    merge_rollup_snapshots,
+    rollups_from_spans,
 )
 from repro.obs.trace import (
     ATTEMPT,
@@ -110,9 +154,11 @@ from repro.obs.trace import (
 __all__ = [
     "ATTEMPT",
     "Attribution",
+    "BurnRateAlert",
     "Counter",
     "DEFAULT_BUCKETS",
     "E2E_HISTOGRAM",
+    "FleetReport",
     "Histogram",
     "HistogramSnapshot",
     "KERNEL",
@@ -124,31 +170,46 @@ __all__ = [
     "ROUTER",
     "ROUTER_REJECTED_COUNTER",
     "ROUTER_WAIT_HISTOGRAM",
+    "RollupSnapshot",
+    "RollupStore",
     "SECTION",
     "SERVICE",
     "SHARD_FANOUT_HISTOGRAM",
+    "SLODefinition",
+    "SLOStatus",
+    "SamplingStats",
     "Span",
     "TTFP_HISTOGRAM",
     "TraceAnalysis",
     "TraceContext",
+    "TraceSampler",
+    "TraceSummary",
     "Tracer",
     "WorkCounters",
     "aggregate_counters",
     "analyze_forest",
     "annotate",
+    "bench_histogram_name",
+    "canonical_labels",
     "collect_spans",
     "counters_by_key",
     "counters_of",
     "current_tracer",
+    "default_slos",
+    "evaluate_slo",
+    "evaluate_slos",
     "format_count",
     "format_critical_path_report",
     "format_mm1_comparison",
     "format_roofline",
     "format_service_summary",
     "format_waterfall",
+    "head_decision",
+    "head_score",
     "kernel_counters",
     "log_buckets",
     "merge_histograms",
+    "merge_rollup_snapshots",
     "merge_snapshots",
     "metrics_from_spans",
     "percentile",
@@ -156,11 +217,19 @@ __all__ = [
     "record_work",
     "record_response",
     "record_responses",
+    "render_fleet_report",
     "render_report",
+    "replica_counter_name",
+    "report_from_replay",
+    "report_from_spans",
+    "report_to_json",
+    "rollups_from_spans",
     "service_histogram_name",
     "span_from_dict",
     "span_id_for",
     "span_to_dict",
+    "summarize_forest",
+    "summarize_outcomes",
     "tail_attribution",
     "to_chrome_trace",
     "to_jsonl",

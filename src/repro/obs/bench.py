@@ -39,7 +39,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError
 from repro.obs.context import use_tracer
 from repro.obs.counters import aggregate_counters, kernel_counters
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, bench_histogram_name
 from repro.obs.trace import Tracer, collect_spans
 
 #: Bumped on any incompatible change to the report JSON layout.
@@ -524,6 +524,76 @@ class ServeClusterBenchmark(_ServeBenchmark):
         }
 
 
+class ObsRollupBenchmark(Benchmark):
+    """The fleet telemetry plane under a pinned-seed replay.
+
+    Replays a seeded arrival stream with the autoscaler engaged, then
+    gates the full telemetry stack end to end: the canonical-JSON
+    fingerprint of the windowed rollup snapshot, the rollup cell counts,
+    the trace-sampling verdict-stream fingerprint, the kept/total trace
+    split, and the burn-rate alert count.  Everything lives on the
+    virtual clock, so a single drifted float or reordered cell fails the
+    gate exactly.
+    """
+
+    name = "obs.rollup"
+    description = "windowed rollups + sampling + SLO burn over a pinned replay (seed 11)"
+    seed = 11
+    metric_specs = {
+        "rollup_fingerprint": EXACT,
+        "counter_cells": EXACT,
+        "panel_cells": EXACT,
+        "windows": EXACT,
+        "verdict_fingerprint": EXACT,
+        "kept_traces": EXACT,
+        "total_traces": EXACT,
+        "kept_spans": EXACT,
+        "total_spans": EXACT,
+        "alert_firings": EXACT,
+    }
+
+    def run(self, state: Any, quick: bool) -> Dict[str, float]:
+        from repro.datacenter.arrivals import PoissonProcess
+        from repro.datacenter.simulation import exponential_sampler
+        from repro.obs.fleet_report import report_from_replay, report_to_json
+        from repro.obs.sampling import TraceSampler, summarize_outcomes
+        from repro.serving.cluster import AutoscalerPolicy, replay_cluster
+
+        mean_service = 0.02
+        result = replay_cluster(
+            PoissonProcess(rate=0.85 / mean_service),
+            exponential_sampler(mean_service, seed=self.seed + 1),
+            2_000 if quick else 10_000,
+            policy="least-loaded",
+            n_replicas=2,
+            seed=self.seed,
+            autoscaler=AutoscalerPolicy(slo_p99=0.08, max_replicas=6),
+            tick_seconds=2.0,
+        )
+        report = report_from_replay(result, trace_seed=self.seed)
+        rollups = result.rollups
+        sampler = TraceSampler(head_rate=0.1, seed=0, top_k=8)
+        verdicts = sampler.verdicts(
+            summarize_outcomes(result.outcomes, trace_seed=self.seed)
+        )
+        return {
+            "rollup_fingerprint": fingerprint(report_to_json(report)),
+            "counter_cells": len(rollups.counters),
+            "panel_cells": len(rollups.panels),
+            "windows": len(rollups.windows()),
+            "verdict_fingerprint": fingerprint(
+                "\n".join(
+                    f"{v.trace_id}:{int(v.kept)}:{v.reason}" for v in verdicts
+                )
+            ),
+            "kept_traces": report.sampling.kept_traces,
+            "total_traces": report.sampling.total_traces,
+            "kept_spans": report.sampling.kept_spans,
+            "total_spans": report.sampling.total_spans,
+            "alert_firings": sum(len(s.firings) for s in report.slos),
+        }
+
+
 def _populate() -> None:
     if _REGISTRY:
         return
@@ -533,6 +603,7 @@ def _populate() -> None:
     register(ServePlainBenchmark())
     register(ServeStreamingBenchmark())
     register(ServeClusterBenchmark())
+    register(ObsRollupBenchmark())
 
 
 # -- running ------------------------------------------------------------------------
@@ -566,7 +637,7 @@ def run_benchmarks(
         if progress is not None:
             progress(f"bench {benchmark.name} ({repeats} repeats)")
         state = benchmark.prepare(quick)
-        histogram = registry.histogram(f"bench.{benchmark.name}.seconds")
+        histogram = registry.histogram(bench_histogram_name(benchmark.name))
         samples: Dict[str, List[float]] = {}
         for _ in range(repeats):
             start = time.perf_counter()

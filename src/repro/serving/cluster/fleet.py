@@ -34,7 +34,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.query import IPAQuery, QueryType, SiriusResponse
 from repro.errors import AdmissionError, ConfigurationError
@@ -45,8 +45,15 @@ from repro.obs.metrics import (
     ROUTER_WAIT_HISTOGRAM,
     SHARD_FANOUT_HISTOGRAM,
     record_responses,
+    replica_counter_name,
 )
-from repro.obs.trace import ROUTER, Tracer
+from repro.obs.timeseries import (
+    ARRIVALS_METRIC,
+    REJECTED_METRIC,
+    RollupStore,
+    rollups_from_spans,
+)
+from repro.obs.trace import ROUTER, Tracer, collect_spans
 from repro.serving.backends import get_backend
 from repro.serving.cluster.router import (
     AdmissionControl,
@@ -84,6 +91,11 @@ class Cluster:
     :func:`~repro.obs.metrics.record_responses` plus the router's own
     queue-depth, router-wait, shard-fanout, and rejection series — so the
     numbers are complete even when replicas ran in forked workers.
+    ``rollups`` is an optional :class:`~repro.obs.timeseries.RollupStore`
+    fed the same way: router arrivals/rejects from the placement table
+    plus the seed-deterministic span projection
+    (:func:`~repro.obs.timeseries.rollups_from_spans`, ordinal clock), so
+    a live chaos run yields the same windowed telemetry on any backend.
     """
 
     def __init__(
@@ -94,6 +106,7 @@ class Cluster:
         admission: Optional[AdmissionControl] = None,
         metrics: Optional[MetricsRegistry] = None,
         window: Optional[int] = None,
+        rollups: Optional[RollupStore] = None,
     ):
         if not executors:
             raise ConfigurationError("a cluster needs >= 1 replica executor")
@@ -102,6 +115,7 @@ class Cluster:
         self.seed = seed
         self.admission = admission
         self.metrics = metrics
+        self.rollups = rollups
         self.window = window if window is not None else 4 * len(self.executors)
         if self.window < 1:
             raise ConfigurationError("window must be >= 1")
@@ -206,6 +220,8 @@ class Cluster:
             responses = resolved.map(run_one, items, workers=workers)
         if self.metrics is not None:
             self._record_metrics(decisions, responses)
+        if self.rollups is not None:
+            self._record_rollups(decisions, responses)
         return responses
 
     def _rejected_response(
@@ -260,11 +276,17 @@ class Cluster:
         registry = self.metrics
         record_responses(registry, responses)
         depth_histogram = registry.histogram(QUEUE_DEPTH_HISTOGRAM)
+        placements: Dict[int, int] = {}
+        rejected = 0
         for decision in decisions:
             depth_histogram.observe(float(decision.queue_depth))
             if not decision.admitted:
-                registry.counter(ROUTER_REJECTED_COUNTER).inc()
-            registry.counter(f"serve.router.replica.{decision.replica}").inc()
+                rejected += 1
+            placements[decision.replica] = placements.get(decision.replica, 0) + 1
+        if rejected:
+            registry.counter(ROUTER_REJECTED_COUNTER).inc(rejected)
+        for replica in sorted(placements):
+            registry.counter(replica_counter_name(replica)).inc(placements[replica])
         router_wait = registry.histogram(ROUTER_WAIT_HISTOGRAM)
         fanout = registry.histogram(SHARD_FANOUT_HISTOGRAM)
         for response in responses:
@@ -274,6 +296,36 @@ class Cluster:
                 width = span.attributes.get("shard.fanout")
                 if width is not None:
                     fanout.observe(float(width))
+
+    def _record_rollups(
+        self,
+        decisions: Sequence[RouteDecision],
+        responses: Sequence[SiriusResponse],
+    ) -> None:
+        """Windowed telemetry on the ordinal clock, deterministic by design.
+
+        Router arrivals/rejects come from the placement table; everything
+        else (per-replica assignments and depths, stage costs, errors,
+        fan-out, breaker trips) is projected from the responses' span
+        forests, which read only seed-deterministic span fields — so the
+        same chaos stream rolls up byte-identically on every backend.
+        """
+        store = self.rollups
+        for decision in decisions:
+            t = float(decision.ordinal)
+            store.inc(ARRIVALS_METRIC, t)
+            if not decision.admitted:
+                store.inc(REJECTED_METRIC, t)
+        spans = collect_spans(responses)
+        if spans:
+            store.merge(
+                rollups_from_spans(
+                    spans,
+                    window=store.window_seconds,
+                    max_samples=store.max_samples,
+                    reservoir_seed=store.reservoir_seed,
+                )
+            )
 
 
 def build_cluster(
@@ -287,6 +339,7 @@ def build_cluster(
     trace_seed: Optional[int] = None,
     imm_top_k: int = 3,
     fault_plan=None,
+    rollups: Optional[RollupStore] = None,
 ) -> Cluster:
     """Assemble a sharded fleet from one built pipeline's components.
 
@@ -342,4 +395,5 @@ def build_cluster(
         seed=seed,
         admission=admission,
         metrics=metrics,
+        rollups=rollups,
     )

@@ -36,8 +36,37 @@ from repro.datacenter.arrivals import ArrivalProcess
 from repro.datacenter.simulation import mm1_percentile
 from repro.errors import ConfigurationError
 from repro.obs.metrics import percentile
+from repro.obs.timeseries import (
+    ARRIVALS_METRIC,
+    ASSIGNMENTS_METRIC,
+    DEPTH_METRIC,
+    E2E_METRIC,
+    QUERIES_METRIC,
+    REJECTED_METRIC,
+    REPLICAS_METRIC,
+    RollupSnapshot,
+    RollupStore,
+    SCALE_ACTIONS_METRIC,
+    SERVICE_METRIC,
+    TTFP_METRIC,
+    WAIT_METRIC,
+)
 from repro.serving.cluster.autoscaler import AutoscalerPolicy, ScaleDecision
 from repro.serving.cluster.router import AdmissionControl, RoutingPolicy, get_policy
+
+
+def ttfp_fraction(seed: int, ordinal: int) -> float:
+    """The modeled first-partial point of a query's service time, in [0.1, 0.4).
+
+    The live gateway measures time-to-first-partial as a real prefix of
+    service work; the virtual replay models it as a seeded per-ordinal
+    hash draw — a pure function of ``(seed, ordinal)``, so the TTFP
+    series replays byte-identically and the TTFP SLO has end-to-end data
+    without executing audio.
+    """
+    payload = f"{seed}:{ordinal}:ttfp".encode()
+    unit = int.from_bytes(hashlib.sha256(payload).digest()[:8], "big") / float(1 << 64)
+    return 0.1 + 0.3 * unit
 
 
 @dataclass(frozen=True)
@@ -52,6 +81,10 @@ class QueryOutcome:
     wait: float = 0.0       #: virtual seconds queued before service
     service: float = 0.0    #: virtual service seconds
     response: float = 0.0   #: wait + service
+    #: Modeled time-to-first-partial (wait + a seeded fraction of service).
+    #: Derived purely from the fields above plus the run seed, so it is
+    #: deliberately not part of :meth:`key` — the digest identity predates it.
+    ttfp: float = 0.0
 
     def key(self) -> tuple:
         return (
@@ -81,6 +114,9 @@ class ReplayResult:
     decisions: List[ScaleDecision] = field(default_factory=list)
     #: (tick index, active replica count) after each autoscaler evaluation.
     replica_timeline: List[Tuple[int, int]] = field(default_factory=list)
+    #: Windowed per-tick telemetry (arrivals, rejects, waits, per-replica
+    #: depth, TTFP, autoscaler series) — the fleet report's raw material.
+    rollups: Optional[RollupSnapshot] = None
 
     def digest(self) -> str:
         """SHA-256 over the ordered outcome stream — the replay identity.
@@ -145,6 +181,13 @@ def replay_cluster(
     Queueing percentiles discard the first ``warmup_fraction`` of admitted
     queries (transient ramp from the empty state); conservation counts
     never discard anything.
+
+    Alongside the end-of-run aggregates, the driver emits **windowed
+    rollups** (window width = ``tick_seconds``): arrivals, admission
+    rejects, per-replica assignments and queue depth, wait/service/e2e
+    distributions, the modeled TTFP series (:func:`ttfp_fraction`), and
+    the autoscaler's action/replica-count series — all in virtual time,
+    returned as :attr:`ReplayResult.rollups` for ``repro fleet-report``.
     """
     if n_queries < 1:
         raise ConfigurationError("need n_queries >= 1")
@@ -165,6 +208,7 @@ def replay_cluster(
     pending: List[deque] = [deque() for _ in range(max_replicas)]
     free_at = [0.0] * max_replicas
 
+    rollups = RollupStore(window_seconds=tick_seconds)
     arrivals = process.times(n_queries, seed=seed)
     outcomes: List[QueryOutcome] = []
     decisions: List[ScaleDecision] = []
@@ -200,11 +244,15 @@ def replay_cluster(
                 last_change = next_tick
                 active = decision.n_replicas
             replica_timeline.append((tick_index, active))
+            tick_start = next_tick - tick_seconds
+            rollups.inc(SCALE_ACTIONS_METRIC, tick_start, action=decision.action)
+            rollups.observe(REPLICAS_METRIC, tick_start, float(active))
             tick_index += 1
             next_tick += tick_seconds
 
     for ordinal, arrival in enumerate(arrivals):
         run_ticks(arrival)
+        rollups.inc(ARRIVALS_METRIC, arrival)
         depths = []
         for index in range(active):
             queue = pending[index]
@@ -222,6 +270,8 @@ def replay_cluster(
             admission.admit(ordinal, depth) if admission is not None else True
         )
         if not admitted:
+            rollups.inc(REJECTED_METRIC, arrival)
+            rollups.inc(QUERIES_METRIC, arrival, status="failed")
             outcomes.append(
                 QueryOutcome(
                     ordinal=ordinal, arrival=arrival, admitted=False,
@@ -236,12 +286,22 @@ def replay_cluster(
         pending[replica].append(completion)
         busy_time += service
         completed.append((completion, completion - arrival))
+        wait = start - arrival
+        ttfp = wait + ttfp_fraction(seed, ordinal) * service
+        rollups.inc(QUERIES_METRIC, arrival, status="ok")
+        rollups.inc(ASSIGNMENTS_METRIC, arrival, replica=replica)
+        rollups.observe(DEPTH_METRIC, arrival, float(depth), replica=replica)
+        rollups.observe(WAIT_METRIC, arrival, wait)
+        rollups.observe(SERVICE_METRIC, arrival, service)
+        rollups.observe(E2E_METRIC, arrival, completion - arrival)
+        rollups.observe(TTFP_METRIC, arrival, ttfp)
         outcomes.append(
             QueryOutcome(
                 ordinal=ordinal, arrival=arrival, admitted=True,
                 replica=replica, queue_depth=depth,
-                wait=start - arrival, service=service,
+                wait=wait, service=service,
                 response=completion - arrival,
+                ttfp=ttfp,
             )
         )
 
@@ -281,6 +341,7 @@ def replay_cluster(
         outcomes=outcomes,
         decisions=decisions,
         replica_timeline=replica_timeline,
+        rollups=rollups.snapshot(),
     )
 
 

@@ -38,6 +38,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from repro.asr.audio import Waveform
 from repro.errors import ConfigurationError, SessionError
 from repro.obs.metrics import TTFP_HISTOGRAM, record_response
+from repro.obs.timeseries import QUERIES_METRIC, TTFP_METRIC
 from repro.serving.executor import DEGRADE, PlanExecutor, _check_on_error
 from repro.serving.plan import QueryPlan
 from repro.serving.service import ASR
@@ -108,7 +109,7 @@ class GatewaySession:
         if fresh:
             if not self.partials and self.ttfp is None:
                 self.ttfp = time.perf_counter() - self.opened_at
-                self.gateway._observe_ttfp(self.ttfp)
+                self.gateway._observe_ttfp(self.ttfp, self.ordinal)
             self.partials.extend(fresh)
         return fresh
 
@@ -150,7 +151,7 @@ class GatewaySession:
             outcome = await self.gateway._call(self.session.finish)
             response = await self.gateway._call(self._downstream, outcome)
         self.response = response
-        self.gateway._record(response)
+        self.gateway._record(response, self.ordinal)
         return response
 
     def _downstream(self, outcome):
@@ -188,6 +189,7 @@ class StreamingGateway:
         poll_on_feed: bool = True,
         auto_finalize: bool = True,
         endpoint_config: Any = None,
+        rollups: Any = None,
     ):
         _check_on_error(on_error)
         if max_workers < 1:
@@ -202,6 +204,12 @@ class StreamingGateway:
         self.poll_on_feed = poll_on_feed
         self.auto_finalize = auto_finalize
         self.endpoint_config = endpoint_config
+        #: Optional :class:`~repro.obs.timeseries.RollupStore` — windowed
+        #: TTFP and outcome series on the session-ordinal clock.  Gateway
+        #: TTFP is a *measured* wall time (unlike the replay driver's
+        #: modeled series), so these rollups are operational telemetry,
+        #: not golden-pinnable output.
+        self.rollups = rollups
         self._asr_record = next(
             (s.record for s in self.plan.stages if s.service == ASR), True
         )
@@ -228,13 +236,23 @@ class StreamingGateway:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self._pool, lambda: fn(*args))
 
-    def _observe_ttfp(self, seconds: float) -> None:
+    def _observe_ttfp(self, seconds: float, ordinal: int = 0) -> None:
         if self.executor.metrics is not None:
             self.executor.metrics.histogram(TTFP_HISTOGRAM).observe(seconds)
+        if self.rollups is not None:
+            self.rollups.observe(TTFP_METRIC, float(ordinal), seconds)
 
-    def _record(self, response) -> None:
+    def _record(self, response, ordinal: int = 0) -> None:
         if self.executor.metrics is not None:
             record_response(self.executor.metrics, response)
+        if self.rollups is not None:
+            if getattr(response, "failed", False):
+                status = "failed"
+            elif getattr(response, "degraded", False):
+                status = "degraded"
+            else:
+                status = "ok"
+            self.rollups.inc(QUERIES_METRIC, float(ordinal), status=status)
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

@@ -6,6 +6,7 @@ Rules are grouped by failure class:
 - ``SC2xx`` hot-path hygiene (:mod:`repro.statcheck.rules.hotpath`)
 - ``SC3xx`` thread/process safety (:mod:`repro.statcheck.rules.safety`)
 - ``SC4xx`` API hygiene (:mod:`repro.statcheck.rules.hygiene`)
+- ``SC9xx`` telemetry naming (:mod:`repro.statcheck.rules.naming`)
 
 ``SC001`` (parse failure) is emitted by the framework itself, not a rule.
 """
@@ -27,6 +28,7 @@ from repro.statcheck.rules.hygiene import (
     GenericRaise,
     MutableDefaultArgument,
 )
+from repro.statcheck.rules.naming import DynamicTelemetryName
 from repro.statcheck.rules.numeric import (
     DefaultDtypeAccumulator,
     NaiveLogSumExp,
@@ -53,6 +55,7 @@ RULE_CLASSES: Tuple[Type[Rule], ...] = (
     MutableDefaultArgument,
     BareExcept,
     GenericRaise,
+    DynamicTelemetryName,
 )
 
 RULE_CODES: Tuple[str, ...] = tuple(cls.code for cls in RULE_CLASSES)

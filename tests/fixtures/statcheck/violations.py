@@ -93,3 +93,7 @@ def sc402_bare_except(action):
 def sc403_generic_raise(flag):
     if not flag:
         raise RuntimeError("flag must be set")
+
+
+def sc901_dynamic_telemetry_name(registry, replica):
+    return registry.counter(f"serve.router.replica.{replica}")

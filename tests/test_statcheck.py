@@ -300,6 +300,33 @@ class TestRuleUnits:
         # explicitly keeps them out of SiriusError
         assert "SC403" not in codes_in("raise ValueError('bad arg')\n")
 
+    def test_sc901_dynamic_telemetry_name(self):
+        assert "SC901" in codes_in(
+            "registry.counter(f'serve.replica.{replica}')\n"
+        )
+        assert "SC901" in codes_in(
+            "registry.histogram('serve.' + stage + '.seconds')\n"
+        )
+        assert "SC901" in codes_in(
+            "registry.gauge('serve.depth.{}'.format(replica))\n"
+        )
+        # a malformed literal is judged too
+        assert "SC901" in codes_in("registry.counter('Serve-E2E Seconds')\n")
+        # span names only matter inside loops; one-off roots are free-form
+        assert "SC901" in codes_in(
+            "for q in queries:\n"
+            "    with tracer.span(f'stage:{q}'):\n"
+            "        pass\n"
+        )
+        assert "SC901" not in codes_in("tracer.begin_span(f'root:{name}')\n")
+        # the sanctioned patterns: literals and *_name() helpers
+        assert "SC901" not in codes_in("registry.counter('serve.e2e.seconds')\n")
+        assert "SC901" not in codes_in(
+            "registry.counter(replica_counter_name(replica))\n"
+        )
+        # names through variables are someone else's problem (precise-or-silent)
+        assert "SC901" not in codes_in("registry.counter(metric)\n")
+
 
 # ---------------------------------------------------------------------------
 # Framework behaviour
