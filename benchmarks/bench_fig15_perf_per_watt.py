@@ -6,7 +6,8 @@ services); GPU beats the baseline for 3 of 4 services but not QA.
 
 import pytest
 
-from repro.analysis import format_matrix
+from repro.analysis import format_matrix, format_table
+from repro.obs.pricing import ACCELERATOR_TDP_WATTS, watt_ratio
 from repro.platforms import AcceleratorModel, FPGA, GPU, PLATFORMS, SERVICES
 
 
@@ -16,13 +17,39 @@ def model():
 
 
 def test_fig15_report(model, save_report):
-    report = format_matrix(
-        "Figure 15: performance/watt normalized to the 4-core CMP baseline",
-        "Service",
-        model.performance_per_watt_table(),
-        columns=list(PLATFORMS),
-    )
+    # Wattage figures come from the repro.obs.pricing single source of
+    # truth, not local copies — statcheck SC1002 enforces the discipline.
+    watt_rows = [
+        [platform, f"{ACCELERATOR_TDP_WATTS[platform]:.0f}",
+         f"{watt_ratio(platform):.2f}"]
+        for platform in PLATFORMS
+    ]
+    report = "\n\n".join([
+        format_matrix(
+            "Figure 15: performance/watt normalized to the 4-core CMP baseline",
+            "Service",
+            model.performance_per_watt_table(),
+            columns=list(PLATFORMS),
+        ),
+        format_table(
+            "Power normalizers (Table 6 TDP via repro.obs.pricing)",
+            ["Platform", "TDP (W)", "Ratio vs CMP"],
+            watt_rows,
+        ),
+    ])
     save_report("fig15_perf_per_watt", report)
+
+
+def test_power_normalizer_matches_pricing(model):
+    """The model's per-watt denominator is exactly pricing.watt_ratio."""
+    table = model.performance_per_watt_table()
+    for service in SERVICES:
+        for platform in PLATFORMS:
+            expected = (
+                model.throughput_improvement(service, platform)
+                / watt_ratio(platform)
+            )
+            assert table[service][platform] == pytest.approx(expected)
 
 
 def test_fpga_exceeds_12x_everywhere(model):

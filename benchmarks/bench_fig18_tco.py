@@ -8,6 +8,12 @@ import pytest
 
 from repro.analysis import format_table
 from repro.datacenter import TCOModel, TCOParameters
+from repro.obs.pricing import (
+    PLATFORM_WATTS,
+    SERVER_PRICES,
+    monthly_server_tco,
+    server_tco_breakdown,
+)
 from repro.platforms import AcceleratorModel, FPGA, GPU, PHI, PLATFORMS, SERVICES
 
 
@@ -48,11 +54,16 @@ def test_fig18_report(tco, model, save_report):
             throughput = model.throughput_improvement(service, platform)
             row.append(f"{tco.normalized_tco(platform, throughput):.3f}")
         matrix_rows.append(row)
+    # Server price/wattage and the itemized breakdown come from the
+    # repro.obs.pricing single source of truth (which derives from
+    # platforms.spec + datacenter.tco), not local copies.
     breakdown_rows = []
     for platform in PLATFORMS:
-        b = tco.platform_breakdown(platform)
+        b = server_tco_breakdown(platform)
         breakdown_rows.append(
-            [platform, f"{b.dc_capex:.1f}", f"{b.dc_opex:.1f}",
+            [platform, f"{SERVER_PRICES[platform]:.0f}",
+             f"{PLATFORM_WATTS[platform]:.1f}",
+             f"{b.dc_capex:.1f}", f"{b.dc_opex:.1f}",
              f"{b.server_capex:.1f}", f"{b.server_opex:.1f}",
              f"{b.energy:.1f}", f"{b.total:.1f}"]
         )
@@ -65,13 +76,20 @@ def test_fig18_report(tco, model, save_report):
             ),
             format_table(
                 "Monthly per-server TCO breakdown ($)",
-                ["Platform", "DC capex", "DC opex", "Srv capex", "Srv opex",
-                 "Energy", "Total"],
+                ["Platform", "Price $", "Watts", "DC capex", "DC opex",
+                 "Srv capex", "Srv opex", "Energy", "Total"],
                 breakdown_rows,
             ),
         ]
     )
     save_report("fig18_tco", report)
+
+
+def test_pricing_agrees_with_tco_model(tco):
+    """repro.obs.pricing is a pure derivation of the TCO model, not a fork."""
+    for platform in PLATFORMS:
+        assert monthly_server_tco(platform) == tco.monthly_tco(platform)
+        assert server_tco_breakdown(platform) == tco.platform_breakdown(platform)
 
 
 def test_gpu_asr_dnn_over_8x(tco, model):

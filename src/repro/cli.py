@@ -677,6 +677,93 @@ def _cmd_fleet_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cost_report(args: argparse.Namespace) -> int:
+    """``repro cost-report``: the per-query joule/dollar ledger.
+
+    Folds a span export (or a seeded cluster replay) into per-query,
+    per-stage energy and dollars with the AI-tax decomposition, reprices
+    the same trace on CMP/GPU/Phi/FPGA, and (``--fleet``) extrapolates to
+    the million-query day.  Every number derives from seeds, virtual
+    time, and the Table 5/6/7 constants — never wall clocks — so the
+    ledger is byte-identical across execution backends.
+
+    ``--json`` prints canonical JSON for golden pinning; ``--smoke``
+    rebuilds the whole report from scratch and exits 2 unless both
+    renderings are byte-identical.
+    """
+    from repro.datacenter.arrivals import make_process
+    from repro.datacenter.simulation import exponential_sampler
+    from repro.errors import ObsError
+    from repro.obs import read_jsonl
+    from repro.obs.cost import (
+        cost_report_from_replay,
+        cost_report_from_spans,
+        render_cost_report,
+        report_to_json,
+    )
+    from repro.serving.cluster import replay_cluster
+    from repro.serving.cluster.autoscaler import AutoscalerPolicy
+
+    if args.smoke:
+        args.queries = min(args.queries, 2_000)
+
+    if args.path:
+        spans = read_jsonl(args.path)
+        if not spans:
+            raise ObsError(
+                f"span export {args.path!r} contains no spans; was the "
+                "trace written with tracing enabled (serve-bench --trace)?"
+            )
+
+        def build():
+            return cost_report_from_spans(
+                spans,
+                platform=args.platform,
+                fleet=args.fleet,
+                target_queries=args.target_queries,
+            )
+    else:
+        def build():
+            result = replay_cluster(
+                make_process(args.arrivals, args.rate),
+                exponential_sampler(args.service_mean, seed=args.seed + 1),
+                args.queries,
+                policy=args.policy,
+                n_replicas=args.replicas,
+                seed=args.seed,
+                autoscaler=(
+                    AutoscalerPolicy(slo_p99=args.e2e_slo)
+                    if args.autoscale else None
+                ),
+            )
+            return cost_report_from_replay(
+                result,
+                platform=args.platform,
+                fleet=args.fleet,
+                target_queries=args.target_queries,
+            )
+
+    report = build()
+    rendered = (
+        report_to_json(report) if args.json else render_cost_report(report)
+    )
+    print(rendered, end="")
+
+    if args.smoke:
+        again = build()
+        stable = (
+            report_to_json(again) == report_to_json(report)
+            and render_cost_report(again) == render_cost_report(report)
+        )
+        print(
+            f"cost-report determinism: {'ok' if stable else 'FAILED'}",
+            file=sys.stderr,
+        )
+        if not stable:
+            return 2
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """``repro bench``: run the registry and/or gate against a baseline."""
     from repro.obs import bench
@@ -965,6 +1052,59 @@ def build_parser() -> argparse.ArgumentParser:
              "both renderings are byte-identical",
     )
     fleet.set_defaults(func=_cmd_fleet_report)
+
+    cost = sub.add_parser(
+        "cost-report",
+        help="per-query joule/dollar ledger with the AI-tax decomposition "
+             "and platform what-if repricing",
+    )
+    cost.add_argument(
+        "path", nargs="?", default=None,
+        help="JSONL span export to price (default: run a seeded replay)",
+    )
+    cost.add_argument(
+        "--platform", default="cmp", choices=("cmp", "gpu", "phi", "fpga"),
+        help="platform the headline ledger is priced on (default cmp)",
+    )
+    cost.add_argument(
+        "--fleet", action="store_true",
+        help="extrapolate to --target-queries per day: servers, joules, "
+             "and dollars per platform",
+    )
+    cost.add_argument("--target-queries", type=int, default=1_000_000,
+                      help="fleet extrapolation volume (default 1e6/day)")
+    cost.add_argument("--queries", type=int, default=5_000,
+                      help="replay arrival count (default 5000)")
+    cost.add_argument("--replicas", type=int, default=2)
+    cost.add_argument(
+        "--policy", default="least-loaded",
+        choices=("round-robin", "least-loaded", "power-of-two"),
+    )
+    cost.add_argument(
+        "--arrivals", default="poisson",
+        choices=("poisson", "diurnal", "bursty"),
+    )
+    cost.add_argument("--rate", type=float, default=12.0,
+                      help="arrival rate in queries/second (default 12)")
+    cost.add_argument("--service-mean", type=float, default=0.12,
+                      help="mean service time in seconds (default 0.12)")
+    cost.add_argument(
+        "--autoscale", action="store_true",
+        help="enable the SLO autoscaler in replay mode (target = --e2e-slo)",
+    )
+    cost.add_argument("--e2e-slo", type=float, default=2.5,
+                      help="autoscaler p99 target in seconds")
+    cost.add_argument("--seed", type=int, default=0)
+    cost.add_argument(
+        "--json", action="store_true",
+        help="emit canonical JSON (sorted keys) instead of the ledger",
+    )
+    cost.add_argument(
+        "--smoke", action="store_true",
+        help="CI shape: <= 2000 arrivals, rebuild twice, exit 2 unless "
+             "both renderings are byte-identical",
+    )
+    cost.set_defaults(func=_cmd_cost_report)
 
     bench = sub.add_parser(
         "bench",

@@ -17,21 +17,28 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
-from repro.platforms.spec import CMP, server_price, server_watts
+from repro.platforms.spec import (
+    CMP,
+    DC_OPEX_PER_WATT_MONTH,
+    DC_PRICE_PER_WATT,
+    ELECTRICITY_COST_PER_KWH,
+    server_price,
+    server_watts,
+)
 
 HOURS_PER_MONTH = 730.0
 
 
 @dataclass(frozen=True)
 class TCOParameters:
-    """Table 7, verbatim."""
+    """Table 7, verbatim (money/watt figures live in :mod:`platforms.spec`)."""
 
     dc_depreciation_years: float = 12.0
     server_depreciation_years: float = 3.0
     average_utilization: float = 0.45
-    electricity_cost_per_kwh: float = 0.067
-    dc_price_per_watt: float = 10.0
-    dc_opex_per_watt_month: float = 0.04
+    electricity_cost_per_kwh: float = ELECTRICITY_COST_PER_KWH
+    dc_price_per_watt: float = DC_PRICE_PER_WATT
+    dc_opex_per_watt_month: float = DC_OPEX_PER_WATT_MONTH
     server_opex_fraction_per_year: float = 0.05
     pue: float = 1.1
 

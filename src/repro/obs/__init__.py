@@ -39,15 +39,42 @@ produces those measurements from a live run:
 - :mod:`repro.obs.slo` — declarative SLOs, error budgets, and
   multi-window burn-rate alerts evaluated over rollup snapshots;
 - :mod:`repro.obs.fleet_report` — the ``repro fleet-report`` dashboard
-  and its canonical golden-pinnable JSON rendering.
+  and its canonical golden-pinnable JSON rendering;
+- :mod:`repro.obs.pricing` — the single home for watt/dollar constants
+  (Table 6 TDPs, server prices, electricity and TCO rates) derived from
+  :mod:`repro.platforms.spec`; statcheck rule ``SC1002`` keeps magic
+  pricing numbers from appearing anywhere else;
+- :mod:`repro.obs.cost` — the ``repro cost-report`` ledger: per-query,
+  per-stage energy (exact integer microjoules) and dollars folded from
+  span forests or cluster replays, the compute-vs-AI-tax decomposition,
+  platform what-if repricing against Figure 18's TCO ordering, and the
+  million-query-day fleet extrapolation.
 
 Wired into ``repro serve-bench --trace/--metrics``, ``repro trace-report``,
-``repro fleet-report`` and ``repro bench``; see ``docs/OBSERVABILITY.md``
-and ``docs/BENCHMARKING.md``.
+``repro fleet-report``, ``repro cost-report`` and ``repro bench``; see
+``docs/OBSERVABILITY.md`` and ``docs/BENCHMARKING.md``.
 """
 
 from repro.obs.context import annotate, current_tracer, use_tracer
+from repro.obs.cost import (
+    CostLedger,
+    CostReport,
+    FleetCost,
+    WhatIfRow,
+    cost_report_from_replay,
+    cost_report_from_spans,
+    fig18_reference_order,
+    fleet_cost_panel,
+    fleet_costs,
+    format_energy,
+    ledger_from_replay,
+    ledger_from_spans,
+    render_cost_report,
+    reprice,
+    stage_compute_dollars,
+)
 from repro.obs.counters import (
+    WASTED,
     WorkCounters,
     aggregate_counters,
     counters_by_key,
@@ -55,6 +82,8 @@ from repro.obs.counters import (
     format_count,
     kernel_counters,
     record_work,
+    split_wasted_counters,
+    wasted_span_ids,
 )
 from repro.obs.critical_path import (
     Attribution,
@@ -103,10 +132,22 @@ from repro.obs.fleet_report import (
     report_from_spans,
     report_to_json,
 )
+from repro.obs.pricing import (
+    ACCELERATOR_TDP_WATTS,
+    PLATFORM_WATTS,
+    SERVER_PRICES,
+    dollars_per_server_second,
+    electricity_dollars,
+    energy_microjoules,
+    monthly_server_tco,
+    server_tco_breakdown,
+    watt_ratio,
+)
 from repro.obs.report import (
     format_mm1_comparison,
     format_roofline,
     format_service_summary,
+    format_wasted_work,
     format_waterfall,
     metrics_from_spans,
     render_report,
@@ -129,6 +170,7 @@ from repro.obs.slo import (
     evaluate_slos,
 )
 from repro.obs.timeseries import (
+    ENERGY_METRIC,
     RollupSnapshot,
     RollupStore,
     canonical_labels,
@@ -152,12 +194,17 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "ACCELERATOR_TDP_WATTS",
     "ATTEMPT",
     "Attribution",
     "BurnRateAlert",
+    "CostLedger",
+    "CostReport",
     "Counter",
     "DEFAULT_BUCKETS",
     "E2E_HISTOGRAM",
+    "ENERGY_METRIC",
+    "FleetCost",
     "FleetReport",
     "Histogram",
     "HistogramSnapshot",
@@ -165,6 +212,7 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "PARTIAL",
+    "PLATFORM_WATTS",
     "QUERY",
     "QUEUE_DEPTH_HISTOGRAM",
     "ROUTER",
@@ -173,6 +221,7 @@ __all__ = [
     "RollupSnapshot",
     "RollupStore",
     "SECTION",
+    "SERVER_PRICES",
     "SERVICE",
     "SHARD_FANOUT_HISTOGRAM",
     "SLODefinition",
@@ -185,6 +234,8 @@ __all__ = [
     "TraceSampler",
     "TraceSummary",
     "Tracer",
+    "WASTED",
+    "WhatIfRow",
     "WorkCounters",
     "aggregate_counters",
     "analyze_forest",
@@ -192,42 +243,60 @@ __all__ = [
     "bench_histogram_name",
     "canonical_labels",
     "collect_spans",
+    "cost_report_from_replay",
+    "cost_report_from_spans",
     "counters_by_key",
     "counters_of",
     "current_tracer",
     "default_slos",
+    "dollars_per_server_second",
+    "electricity_dollars",
+    "energy_microjoules",
     "evaluate_slo",
     "evaluate_slos",
+    "fig18_reference_order",
+    "fleet_cost_panel",
+    "fleet_costs",
     "format_count",
     "format_critical_path_report",
+    "format_energy",
     "format_mm1_comparison",
     "format_roofline",
     "format_service_summary",
+    "format_wasted_work",
     "format_waterfall",
     "head_decision",
     "head_score",
     "kernel_counters",
+    "ledger_from_replay",
+    "ledger_from_spans",
     "log_buckets",
     "merge_histograms",
     "merge_rollup_snapshots",
     "merge_snapshots",
     "metrics_from_spans",
+    "monthly_server_tco",
     "percentile",
     "read_jsonl",
     "record_work",
     "record_response",
     "record_responses",
+    "render_cost_report",
     "render_fleet_report",
     "render_report",
     "replica_counter_name",
     "report_from_replay",
     "report_from_spans",
     "report_to_json",
+    "reprice",
     "rollups_from_spans",
+    "server_tco_breakdown",
     "service_histogram_name",
     "span_from_dict",
     "span_id_for",
     "span_to_dict",
+    "split_wasted_counters",
+    "stage_compute_dollars",
     "summarize_forest",
     "summarize_outcomes",
     "tail_attribution",
@@ -236,6 +305,8 @@ __all__ = [
     "trace_id_for",
     "use_tracer",
     "wait_histogram_name",
+    "wasted_span_ids",
+    "watt_ratio",
     "write_chrome_trace",
     "write_jsonl",
 ]

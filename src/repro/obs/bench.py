@@ -594,6 +594,64 @@ class ObsRollupBenchmark(Benchmark):
         }
 
 
+class ObsCostBenchmark(Benchmark):
+    """The cost ledger under a pinned-seed replay.
+
+    Replays a seeded arrival stream, folds it into the joule/dollar
+    ledger, reprices it on every platform, and extrapolates the fleet
+    bill — then gates the canonical-JSON fingerprint of the whole report
+    plus the headline integers.  Every number is a pure function of the
+    seeds and the Table 5/6/7 constants, so a drifted watt, speedup, or
+    rounding point fails the gate exactly.
+    """
+
+    name = "obs.cost"
+    description = "joule/dollar ledger + what-if repricing over a pinned replay (seed 13)"
+    seed = 13
+    metric_specs = {
+        "report_fingerprint": EXACT,
+        "ledger_fingerprint": EXACT,
+        "total_microjoules": EXACT,
+        "tax_microjoules": EXACT,
+        "queries": EXACT,
+        "what_if_platforms": EXACT,
+        "fleet_servers": EXACT,
+    }
+
+    def run(self, state: Any, quick: bool) -> Dict[str, float]:
+        from repro.datacenter.arrivals import PoissonProcess
+        from repro.datacenter.simulation import exponential_sampler
+        from repro.obs.cost import (
+            cost_report_from_replay,
+            render_cost_report,
+            report_to_json,
+        )
+        from repro.serving.cluster import AutoscalerPolicy, replay_cluster
+
+        mean_service = 0.02
+        result = replay_cluster(
+            PoissonProcess(rate=0.85 / mean_service),
+            exponential_sampler(mean_service, seed=self.seed + 1),
+            2_000 if quick else 10_000,
+            policy="least-loaded",
+            n_replicas=2,
+            seed=self.seed,
+            autoscaler=AutoscalerPolicy(slo_p99=0.08, max_replicas=6),
+            tick_seconds=2.0,
+        )
+        report = cost_report_from_replay(result, fleet=True)
+        ledger = report.ledger
+        return {
+            "report_fingerprint": fingerprint(report_to_json(report)),
+            "ledger_fingerprint": fingerprint(render_cost_report(report)),
+            "total_microjoules": ledger.total_microjoules,
+            "tax_microjoules": ledger.tax_microjoules(),
+            "queries": len(ledger.queries),
+            "what_if_platforms": len(report.what_if),
+            "fleet_servers": sum(row.n_servers for row in report.fleet.rows),
+        }
+
+
 def _populate() -> None:
     if _REGISTRY:
         return
@@ -604,6 +662,7 @@ def _populate() -> None:
     register(ServeStreamingBenchmark())
     register(ServeClusterBenchmark())
     register(ObsRollupBenchmark())
+    register(ObsCostBenchmark())
 
 
 # -- running ------------------------------------------------------------------------

@@ -136,6 +136,72 @@ def counters_by_key(
     return grouped
 
 
+#: Attribute set by the resilience layer on attempt spans whose work was
+#: discarded (failed/retried attempts, breaker fast-fails).
+WASTED = "wasted"
+
+
+def wasted_span_ids(spans: Iterable[Any]) -> frozenset:
+    """Span ids whose recorded work was ultimately thrown away.
+
+    A span is *wasted* when it — or any ancestor — is a failed or
+    explicitly ``wasted``-tagged attempt (a retried try, a breaker
+    fast-fail, a deadline overrun), an errored service, or a query that
+    terminally failed.  Work under a successful attempt of a service that
+    needed retries is *not* wasted; only the discarded tries are.  Purely
+    structural (parent links + seed-deterministic attributes), so the
+    classification is byte-identical across execution backends.
+    """
+    materialized = list(spans)
+    by_id = {span.span_id: span for span in materialized}
+    verdicts: Dict[str, bool] = {}
+
+    def resolve(span: Any) -> bool:
+        cached = verdicts.get(span.span_id)
+        if cached is not None:
+            return cached
+        from repro.obs.trace import ATTEMPT, QUERY, SERVICE
+
+        own = False
+        if span.kind == ATTEMPT:
+            own = bool(span.attributes.get(WASTED)) or span.status == "error"
+        elif span.kind == SERVICE:
+            own = span.status == "error"
+        elif span.kind == QUERY:
+            own = span.status == "error" or bool(span.attributes.get("failed"))
+        if not own:
+            parent = by_id.get(span.parent_id)
+            if parent is not None:
+                own = resolve(parent)
+        verdicts[span.span_id] = own
+        return own
+
+    return frozenset(
+        span.span_id for span in materialized if resolve(span)
+    )
+
+
+def split_wasted_counters(
+    spans: Iterable[Any], key=lambda span: span.service or span.name
+) -> Tuple[Dict[str, WorkCounters], Dict[str, WorkCounters]]:
+    """``counters_by_key`` split into (served, wasted) halves.
+
+    The two dicts partition exactly: summing them value-wise reproduces
+    :func:`counters_by_key` over the same spans — the regression the
+    ledger tests pin, so retried and degraded-then-discarded work can
+    never silently blend back into served totals.
+    """
+    materialized = list(spans)
+    wasted_ids = wasted_span_ids(materialized)
+    served = counters_by_key(
+        (s for s in materialized if s.span_id not in wasted_ids), key=key
+    )
+    wasted = counters_by_key(
+        (s for s in materialized if s.span_id in wasted_ids), key=key
+    )
+    return served, wasted
+
+
 def kernel_counters(spans: Sequence[Any]) -> Dict[str, WorkCounters]:
     """Counter totals per Sirius Suite kernel, from its ``kernel`` spans.
 

@@ -70,6 +70,10 @@ class FleetReport:
     extrapolated: Optional[SamplingStats]
     #: (tick, active replicas) — replay source only.
     replica_timeline: Tuple[Tuple[int, int], ...] = ()
+    #: The cost ledger's panel (:func:`repro.obs.cost.fleet_cost_panel`):
+    #: attributed joules/dollars plus, for replays, the priced autoscaler
+    #: trajectory.  ``None`` only for reports built before the cost plane.
+    cost: Optional[Dict] = None
 
 
 def report_from_replay(
@@ -88,6 +92,8 @@ def report_from_replay(
     sampler = TraceSampler(head_rate=head_rate, seed=sample_seed, top_k=top_k)
     summaries = summarize_outcomes(result.outcomes, trace_seed=trace_seed)
     stats = sampler.stats(summaries)
+    from repro.obs.cost import fleet_cost_panel, ledger_from_replay
+
     return FleetReport(
         source="replay",
         rollups=result.rollups,
@@ -95,6 +101,11 @@ def report_from_replay(
         sampling=stats,
         extrapolated=stats.extrapolate(target_queries) if summaries else None,
         replica_timeline=tuple(result.replica_timeline),
+        cost=fleet_cost_panel(
+            ledger_from_replay(result),
+            replica_timeline=tuple(result.replica_timeline),
+            tick_seconds=result.rollups.window_seconds,
+        ),
     )
 
 
@@ -113,12 +124,15 @@ def report_from_spans(
     sampler = TraceSampler(head_rate=head_rate, seed=sample_seed, top_k=top_k)
     summaries = summarize_forest(spans)
     stats = sampler.stats(summaries)
+    from repro.obs.cost import fleet_cost_panel, ledger_from_spans
+
     return FleetReport(
         source="spans",
         rollups=rollups,
         slos=evaluate_slos(rollups, slos, alerts=alerts),
         sampling=stats,
         extrapolated=stats.extrapolate(target_queries) if summaries else None,
+        cost=fleet_cost_panel(ledger_from_spans(spans)),
     )
 
 
@@ -255,6 +269,34 @@ def _sampling_rows(report: FleetReport) -> List[List[str]]:
     return rows
 
 
+def _cost_rows(report: FleetReport) -> List[List[str]]:
+    from repro.obs.cost import format_energy
+
+    panel = report.cost
+    rows = [
+        ["platform", str(panel["platform"])],
+        ["attributed energy", format_energy(panel["microjoules"])],
+        ["attributed dollars (TCO)", f"${panel['tco_dollars']:.8f}"],
+        ["electricity only", f"${panel['electricity_dollars']:.8f}"],
+        ["AI tax", format_energy(panel["tax_microjoules"])],
+        ["AI tax share", f"{panel['tax_share']:.1%}"],
+    ]
+    if panel["provisioned_replica_seconds"] is not None:
+        rows.append([
+            "provisioned replica-seconds",
+            f"{panel['provisioned_replica_seconds']:.1f}",
+        ])
+        rows.append([
+            "provisioned energy",
+            format_energy(panel["provisioned_microjoules"]),
+        ])
+        rows.append([
+            "provisioned dollars (TCO)",
+            f"${panel['provisioned_dollars']:.8f}",
+        ])
+    return rows
+
+
 def render_fleet_report(report: FleetReport, max_firings: int = 8) -> str:
     """The deterministic text dashboard."""
     # Imported here, not at module top: repro.analysis pulls in profiling,
@@ -307,6 +349,11 @@ def render_fleet_report(report: FleetReport, max_firings: int = 8) -> str:
             sections.append("Firing burn-rate alerts:\n" + "\n".join(firing_lines))
         else:
             sections.append("Firing burn-rate alerts: none")
+    if report.cost is not None:
+        sections.append(format_table(
+            "Cost & energy (see repro cost-report)",
+            ["Metric", "Value"], _cost_rows(report),
+        ))
     sections.append(format_table(
         "Trace sampling", ["Metric", "Value"], _sampling_rows(report)
     ))
@@ -398,6 +445,7 @@ def report_to_dict(report: FleetReport) -> Dict:
             _stats_dict(report.extrapolated)
             if report.extrapolated is not None else None
         ),
+        "cost": dict(report.cost) if report.cost is not None else None,
     }
 
 

@@ -38,7 +38,7 @@ from repro.obs.trace import (
 #: Attributes surfaced inline in the waterfall, in display order.
 _WATERFALL_ATTRIBUTES = (
     "attempts", "virtual_seconds", "fault.kind", "fault.code",
-    "breaker", "rejected", "degraded", "failed", "query_type",
+    "breaker", "rejected", "wasted", "degraded", "failed", "query_type",
     "partial_index", "chars", "chunks", "endpointed",
 )
 
@@ -272,6 +272,54 @@ def format_roofline(spans: Sequence[Span]) -> str:
     )
 
 
+def format_wasted_work(spans: Sequence[Span]) -> str:
+    """Served vs wasted work counters, per service/kernel key.
+
+    Splits :func:`repro.obs.counters.counters_by_key` along the
+    :func:`repro.obs.counters.wasted_span_ids` verdicts — retried tries,
+    breaker fast-fails, and everything under failed queries — so discarded
+    flops show up as their own line instead of blending into served
+    totals.  Empty string when nothing was wasted (no section rendered).
+    """
+    from repro.analysis import format_table
+    from repro.obs.counters import (
+        WorkCounters,
+        format_count,
+        split_wasted_counters,
+        wasted_span_ids,
+    )
+
+    materialized = list(spans)
+    wasted_ids = wasted_span_ids(materialized)
+    if not wasted_ids:
+        return ""
+    served, wasted = split_wasted_counters(materialized)
+    span_counts: Dict[str, int] = {}
+    for span in materialized:
+        if span.span_id in wasted_ids:
+            key = span.service or span.name
+            span_counts[key] = span_counts.get(key, 0) + 1
+    rows: List[List[str]] = []
+    for key in sorted(span_counts):
+        kept = served.get(key, WorkCounters())
+        lost = wasted.get(key, WorkCounters())
+        total_flops = kept.flops + lost.flops
+        share = lost.flops / total_flops if total_flops else 0.0
+        rows.append([
+            key,
+            str(span_counts[key]),
+            format_count(kept.flops),
+            format_count(lost.flops),
+            f"{share:.1%}" if total_flops else "-",
+        ])
+    return format_table(
+        "Wasted work (retries, fast-fails, failed queries)",
+        ["Key", "Wasted spans", "Served flops", "Wasted flops",
+         "Wasted flop share"],
+        rows,
+    )
+
+
 def render_report(
     spans: Sequence[Span],
     limit: int = 0,
@@ -282,6 +330,7 @@ def render_report(
     sections = [
         format_waterfall(spans, limit=limit),
         format_service_summary(registry, title="Per-service latency (from spans)"),
+        format_wasted_work(spans),
     ]
     if mm1_load is not None:
         sections.append(format_mm1_comparison(registry, load=mm1_load))

@@ -394,6 +394,7 @@ SERVICE_METRIC = "serve.service.seconds"
 TTFP_METRIC = "serve.ttfp.seconds"
 REPLICAS_METRIC = "serve.autoscaler.replicas"
 SCALE_ACTIONS_METRIC = "serve.autoscaler.actions"
+ENERGY_METRIC = "serve.energy.microjoules"
 
 
 def rollups_from_spans(

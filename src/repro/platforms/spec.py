@@ -86,6 +86,13 @@ def spec(platform: str) -> PlatformSpec:
 BASELINE_SERVER_PRICE = 2102.0     # dollars
 BASELINE_SERVER_WATTS = 163.6      # watts
 
+#: Table 7 money-per-watt constants.  Every watt/dollar figure in the repo
+#: traces back to this module (or :mod:`repro.obs.pricing`, which derives
+#: from it) — statcheck rule SC1002 flags inline copies anywhere else.
+ELECTRICITY_COST_PER_KWH = 0.067   # dollars per kWh (Table 7)
+DC_PRICE_PER_WATT = 10.0           # datacenter capex, dollars per peak watt
+DC_OPEX_PER_WATT_MONTH = 0.04      # datacenter opex, dollars per watt-month
+
 
 def server_price(platform: str) -> float:
     """Purchase price of a server equipped with ``platform``."""

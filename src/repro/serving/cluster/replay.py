@@ -36,11 +36,13 @@ from repro.datacenter.arrivals import ArrivalProcess
 from repro.datacenter.simulation import mm1_percentile
 from repro.errors import ConfigurationError
 from repro.obs.metrics import percentile
+from repro.obs.pricing import energy_microjoules
 from repro.obs.timeseries import (
     ARRIVALS_METRIC,
     ASSIGNMENTS_METRIC,
     DEPTH_METRIC,
     E2E_METRIC,
+    ENERGY_METRIC,
     QUERIES_METRIC,
     REJECTED_METRIC,
     REPLICAS_METRIC,
@@ -51,6 +53,7 @@ from repro.obs.timeseries import (
     TTFP_METRIC,
     WAIT_METRIC,
 )
+from repro.platforms.spec import CMP
 from repro.serving.cluster.autoscaler import AutoscalerPolicy, ScaleDecision
 from repro.serving.cluster.router import AdmissionControl, RoutingPolicy, get_policy
 
@@ -295,6 +298,13 @@ def replay_cluster(
         rollups.observe(SERVICE_METRIC, arrival, service)
         rollups.observe(E2E_METRIC, arrival, completion - arrival)
         rollups.observe(TTFP_METRIC, arrival, ttfp)
+        # Per-query energy panel: queue wait + service at full-server CMP
+        # draw, through the single rounding point in repro.obs.pricing so
+        # panel values match the cost ledger microjoule-for-microjoule.
+        rollups.observe(
+            ENERGY_METRIC, arrival,
+            float(energy_microjoules(CMP, wait + service)),
+        )
         outcomes.append(
             QueryOutcome(
                 ordinal=ordinal, arrival=arrival, admitted=True,

@@ -291,7 +291,7 @@ class ResilientService(VirtualLatencyAware):
                         span = tracer.begin_span(
                             "attempt", kind=ATTEMPT,
                             attributes={"attempt": attempt, "breaker": OPEN,
-                                        "rejected": True},
+                                        "rejected": True, "wasted": True},
                         )
                         tracer.end_span(
                             span, status="error",
@@ -340,6 +340,11 @@ class ResilientService(VirtualLatencyAware):
                     if failure is None:
                         tracer.end_span(span)
                     else:
+                        # The attempt's work was thrown away (it will be
+                        # retried or the service will fail/degrade); tag it
+                        # so the cost ledger can bill wasted joules apart
+                        # from served work.
+                        span.attributes["wasted"] = True
                         tracer.end_span(
                             span, status="error",
                             error_code=getattr(failure, "code", "SIRIUS"),

@@ -7,6 +7,7 @@ Rules are grouped by failure class:
 - ``SC3xx`` thread/process safety (:mod:`repro.statcheck.rules.safety`)
 - ``SC4xx`` API hygiene (:mod:`repro.statcheck.rules.hygiene`)
 - ``SC9xx`` telemetry naming (:mod:`repro.statcheck.rules.naming`)
+- ``SC10xx`` cost-constant provenance (:mod:`repro.statcheck.rules.pricing`)
 
 ``SC001`` (parse failure) is emitted by the framework itself, not a rule.
 """
@@ -29,6 +30,7 @@ from repro.statcheck.rules.hygiene import (
     MutableDefaultArgument,
 )
 from repro.statcheck.rules.naming import DynamicTelemetryName
+from repro.statcheck.rules.pricing import InlinePricingConstant
 from repro.statcheck.rules.numeric import (
     DefaultDtypeAccumulator,
     NaiveLogSumExp,
@@ -56,6 +58,7 @@ RULE_CLASSES: Tuple[Type[Rule], ...] = (
     BareExcept,
     GenericRaise,
     DynamicTelemetryName,
+    InlinePricingConstant,
 )
 
 RULE_CODES: Tuple[str, ...] = tuple(cls.code for cls in RULE_CLASSES)

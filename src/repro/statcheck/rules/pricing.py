@@ -1,0 +1,125 @@
+"""Cost-constant provenance rules (SC10xx): one source of truth for money.
+
+The cost ledger's whole claim is that every watt, joule, and dollar in
+the repo traces back to the Table 6/7 constants in ``platforms/spec.py``
+(or their derivations in ``obs/pricing.py``).  An inline
+``gpu_tdp_watts = 230.0`` in a bench or report silently forks that truth:
+the figure keeps rendering, but it no longer reprices when the spec
+changes.  These rules flag numeric literals assigned to (or passed as)
+power/price-named bindings anywhere outside the two sanctioned modules.
+
+Precise-or-silent: only names whose underscore-split words include a
+power/price unit are judged, and only when a non-trivial numeric literal
+is visibly attached; ``microjoules = 0`` accumulators and computed values
+stay free.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.statcheck.core import Rule, RuleContext, Severity
+
+#: Underscore-delimited name words that mark a binding as power/price-typed.
+_UNIT_WORDS = frozenset({
+    "watt", "watts", "tdp",
+    "joule", "joules", "microjoule", "microjoules",
+    "kwh",
+    "dollar", "dollars",
+})
+
+#: Modules allowed to define power/price constants (path suffixes, "/").
+_ALLOWED_SUFFIXES = ("platforms/spec.py", "obs/pricing.py")
+
+#: Trivial numerics that are bookkeeping, not constants (0 counters, 1.0
+#: identity scales, sign flips).
+_TRIVIAL = (0, 1, -1, 0.0, 1.0, -1.0)
+
+
+def _unit_named(name: str) -> bool:
+    return any(word in _UNIT_WORDS for word in name.lower().split("_"))
+
+
+def _target_name(target: ast.AST) -> Optional[str]:
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+def _numeric_literal(value: ast.AST) -> Optional[ast.Constant]:
+    """The offending numeric Constant in ``value``, if one is visible.
+
+    Direct literals and unary +/- literals are judged; arithmetic over
+    names (``WATTS * hours``) is a derivation, not a fork, and stays
+    silent.
+    """
+    if isinstance(value, ast.UnaryOp) and isinstance(
+        value.op, (ast.UAdd, ast.USub)
+    ):
+        value = value.operand
+    if (
+        isinstance(value, ast.Constant)
+        and type(value.value) in (int, float)
+        and value.value not in _TRIVIAL
+    ):
+        return value
+    return None
+
+
+class InlinePricingConstant(Rule):
+    """SC1002: watt/joule/dollar literals outside spec.py / pricing.py."""
+
+    code = "SC1002"
+    name = "inline-pricing-constant"
+    severity = Severity.WARNING
+    summary = (
+        "power/price constant defined outside platforms/spec.py or "
+        "obs/pricing.py"
+    )
+    rationale = (
+        "Every watt/joule/dollar figure must derive from the Table 6/7 "
+        "constants in platforms/spec.py (or obs/pricing.py, which derives "
+        "from them).  An inline copy keeps rendering after the spec "
+        "changes, so figures, benches, and the cost ledger silently "
+        "disagree.  Import the constant, or add it to the spec."
+    )
+
+    def _allowed(self, ctx: RuleContext) -> bool:
+        normalized = ctx.path.replace("\\", "/")
+        return any(normalized.endswith(s) for s in _ALLOWED_SUFFIXES)
+
+    def _check_binding(
+        self, name: Optional[str], value: ast.AST, ctx: RuleContext
+    ) -> None:
+        if name is None or not _unit_named(name):
+            return
+        literal = _numeric_literal(value)
+        if literal is None:
+            return
+        ctx.report(
+            self,
+            literal,
+            f"{name!r} binds the literal {literal.value!r}; power/price "
+            "constants belong in platforms/spec.py (or obs/pricing.py) — "
+            "import them instead of forking the value",
+        )
+
+    def visit_Assign(self, node: ast.Assign, ctx: RuleContext) -> None:
+        if self._allowed(ctx):
+            return
+        for target in node.targets:
+            self._check_binding(_target_name(target), node.value, ctx)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign, ctx: RuleContext) -> None:
+        if self._allowed(ctx) or node.value is None:
+            return
+        self._check_binding(_target_name(node.target), node.value, ctx)
+
+    def visit_Call(self, node: ast.Call, ctx: RuleContext) -> None:
+        if self._allowed(ctx):
+            return
+        for keyword in node.keywords:
+            self._check_binding(keyword.arg, keyword.value, ctx)

@@ -97,3 +97,8 @@ def sc403_generic_raise(flag):
 
 def sc901_dynamic_telemetry_name(registry, replica):
     return registry.counter(f"serve.router.replica.{replica}")
+
+
+def sc1002_inline_pricing_constant():
+    gpu_tdp_watts = 230.0
+    return gpu_tdp_watts

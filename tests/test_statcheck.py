@@ -327,6 +327,27 @@ class TestRuleUnits:
         # names through variables are someone else's problem (precise-or-silent)
         assert "SC901" not in codes_in("registry.counter(metric)\n")
 
+    def test_sc1002_inline_pricing_constant(self):
+        assert "SC1002" in codes_in("gpu_tdp_watts = 230.0\n")
+        assert "SC1002" in codes_in("SERVER_PRICE_DOLLARS = 2102.0\n")
+        assert "SC1002" in codes_in("cost_per_kwh: float = 0.067\n")
+        assert "SC1002" in codes_in("price(tdp_watts=230.0)\n")
+        assert "SC1002" in codes_in("budget_dollars = -42.5\n")
+        # the two sanctioned homes are exempt
+        assert "SC1002" not in codes_in(
+            "GPU_TDP_WATTS = 230.0\n", path="src/repro/platforms/spec.py"
+        )
+        assert "SC1002" not in codes_in(
+            "JOULES_PER_KWH = 3_600_000.0\n", path="src/repro/obs/pricing.py"
+        )
+        # trivial bookkeeping values and derivations stay silent
+        assert "SC1002" not in codes_in("total_microjoules = 0\n")
+        assert "SC1002" not in codes_in("scale_watts = 1.0\n")
+        assert "SC1002" not in codes_in(
+            "server_watts = BASELINE_WATTS + adder\n"
+        )
+        assert "SC1002" not in codes_in("n_servers = 42\n")
+
 
 # ---------------------------------------------------------------------------
 # Framework behaviour
@@ -336,7 +357,7 @@ class TestRuleUnits:
 class TestFramework:
     def test_every_rule_has_metadata(self):
         for rule in all_rules():
-            assert rule.code.startswith("SC") and len(rule.code) == 5
+            assert rule.code.startswith("SC") and len(rule.code) in (5, 6)
             assert rule.name and rule.summary and rule.rationale
             assert isinstance(rule.severity, Severity)
 
